@@ -1,0 +1,145 @@
+// Benchmark harness: one benchmark per table/figure of the paper (the
+// bench both times the regeneration and prints the regenerated table, so
+// `go test -bench=.` reproduces the full evaluation), plus micro-benchmarks
+// of the estimation hot paths.
+//
+// The per-experiment index lives in DESIGN.md; paper-vs-measured results
+// are recorded in EXPERIMENTS.md.
+package rfidest_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"rfidest"
+	"rfidest/internal/experiment"
+)
+
+// printedTables dedupes table output across the benchmark framework's
+// calibration reruns (the tables are deterministic per Options, so the
+// first print is the print).
+var printedTables = map[string]bool{}
+
+// benchTable runs one experiment b.N times and prints the resulting table
+// once.
+func benchTable(b *testing.B, runner experiment.Runner, trials int) {
+	b.Helper()
+	o := experiment.DefaultOptions()
+	o.Trials = trials
+	var tab *experiment.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab = runner(o)
+	}
+	b.StopTimer()
+	if printedTables[tab.Title] {
+		return
+	}
+	printedTables[tab.Title] = true
+	fmt.Println()
+	if err := tab.Render(os.Stdout); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// ---- the paper's figures (Fig. 1 is a concept sketch, Fig. 2 a protocol
+// diagram and Table I a symbol table; everything with data is below). ----
+
+func BenchmarkFig3Feasibility(b *testing.B)        { benchTable(b, experiment.Fig3, 0) }
+func BenchmarkFig4GammaRange(b *testing.B)         { benchTable(b, experiment.Fig4, 0) }
+func BenchmarkFig5Monotonicity(b *testing.B)       { benchTable(b, experiment.Fig5, 0) }
+func BenchmarkFig6Distributions(b *testing.B)      { benchTable(b, experiment.Fig6, 0) }
+func BenchmarkFig7aAccuracyVsN(b *testing.B)       { benchTable(b, experiment.Fig7a, 0) }
+func BenchmarkFig7bAccuracyVsEpsilon(b *testing.B) { benchTable(b, experiment.Fig7b, 0) }
+func BenchmarkFig7cAccuracyVsDelta(b *testing.B)   { benchTable(b, experiment.Fig7c, 0) }
+
+// BenchmarkFig8CDF uses 40 rounds per distribution instead of the paper's
+// 100 to keep the bench under a minute; `cmd/experiments -run fig8` runs
+// the full 100.
+func BenchmarkFig8CDF(b *testing.B) { benchTable(b, experiment.Fig8, 40) }
+
+func BenchmarkFig9ComparisonAccuracy(b *testing.B) { benchTable(b, experiment.Fig9, 0) }
+func BenchmarkFig10ComparisonTime(b *testing.B)    { benchTable(b, experiment.Fig10, 0) }
+func BenchmarkOverheadBudget(b *testing.B)         { benchTable(b, experiment.Overhead, 0) }
+
+// ---- ablations of the paper's design choices (DESIGN.md §5). ----
+
+func BenchmarkAblationK(b *testing.B)          { benchTable(b, experiment.AblationK, 6) }
+func BenchmarkAblationW(b *testing.B)          { benchTable(b, experiment.AblationW, 6) }
+func BenchmarkAblationC(b *testing.B)          { benchTable(b, experiment.AblationC, 10) }
+func BenchmarkAblationRoughSlots(b *testing.B) { benchTable(b, experiment.AblationRoughSlots, 6) }
+func BenchmarkAblationHashMode(b *testing.B)   { benchTable(b, experiment.AblationHashMode, 4) }
+func BenchmarkAblationNoise(b *testing.B)      { benchTable(b, experiment.AblationNoise, 5) }
+func BenchmarkAblationZOECost(b *testing.B)    { benchTable(b, experiment.AblationZOECost, 0) }
+func BenchmarkAblationCapture(b *testing.B)    { benchTable(b, experiment.AblationCapture, 4) }
+func BenchmarkBakeoff(b *testing.B)            { benchTable(b, experiment.Bakeoff, 0) }
+
+// BenchmarkInventoryCrossover regenerates the exact-counting vs estimation
+// comparison (the quantified version of §III-A's scoping argument).
+func BenchmarkInventoryCrossover(b *testing.B) { benchTable(b, experiment.InventoryCrossover, 0) }
+
+// BenchmarkMonitoring regenerates the drifting-deployment monitoring table
+// (warm-started BFCE + differential snapshots).
+func BenchmarkMonitoring(b *testing.B) { benchTable(b, experiment.Monitoring, 0) }
+
+// BenchmarkMissingTags regenerates the missing-tag identification table.
+func BenchmarkMissingTags(b *testing.B) { benchTable(b, experiment.MissingTags, 0) }
+
+// BenchmarkGuarantee regenerates the empirical (eps,delta) validation with
+// a reduced trial count (the full 200-run table is `cmd/experiments -run
+// guarantee`).
+func BenchmarkGuarantee(b *testing.B) { benchTable(b, experiment.Guarantee, 60) }
+
+// ---- micro-benchmarks of the estimation hot paths. ----
+
+// BenchmarkBFCETagLevel measures one full BFCE estimation over a
+// materialized population of 100k tags (per-tag fidelity).
+func BenchmarkBFCETagLevel(b *testing.B) {
+	sys := rfidest.NewSystem(100000, rfidest.WithSeed(1))
+	b.ResetTimer()
+	var secs float64
+	for i := 0; i < b.N; i++ {
+		est, err := sys.EstimateBFCE(0.05, 0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		secs = est.Seconds
+	}
+	b.ReportMetric(secs, "airtime-s/op")
+}
+
+// BenchmarkBFCESynthetic measures one BFCE estimation over the exact
+// synthetic channel (no per-tag iteration).
+func BenchmarkBFCESynthetic(b *testing.B) {
+	sys := rfidest.NewSystem(1000000, rfidest.WithSeed(2), rfidest.WithSynthetic())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.EstimateBFCE(0.05, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkZOESynthetic measures one full ZOE estimation (its ~4000
+// single-slot frames) over the synthetic channel.
+func BenchmarkZOESynthetic(b *testing.B) {
+	sys := rfidest.NewSystem(500000, rfidest.WithSeed(3), rfidest.WithSynthetic())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.EstimateWith("ZOE", 0.05, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSRCSynthetic measures one full SRC estimation (7 median rounds).
+func BenchmarkSRCSynthetic(b *testing.B) {
+	sys := rfidest.NewSystem(500000, rfidest.WithSeed(4), rfidest.WithSynthetic())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.EstimateWith("SRC", 0.05, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command experiments regenerates the tables and figures of the BFCE paper
+// (ICPP 2015) from the simulator, exactly as indexed in DESIGN.md.
+//
+// Usage examples:
+//
+//	experiments -list                 # show the experiment index
+//	experiments                       # run everything, text tables to stdout
+//	experiments -run fig9,fig10       # only the comparison figures
+//	experiments -csv results/         # additionally write one CSV per table
+//	experiments -trials 20 -seed 7    # override repetitions and seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rfidest/internal/experiment"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		run    = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		seed   = flag.Uint64("seed", experiment.DefaultOptions().Seed, "experiment seed")
+		trials = flag.Int("trials", 0, "override per-point trials (0 = figure defaults)")
+		csvDir = flag.String("csv", "", "also write one CSV per table into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.IDs() {
+			fmt.Printf("%-16s %s\n", id, experiment.Describe(id))
+		}
+		return
+	}
+
+	o := experiment.Options{Seed: *seed, Trials: *trials}
+	var ids []string
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	selected := ids
+	if len(selected) == 0 {
+		selected = experiment.IDs()
+	}
+
+	for _, id := range selected {
+		runner, ok := experiment.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		table := runner(o)
+		if err := table.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, id, table); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir, id string, table *experiment.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := table.CSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,157 @@
+package rfidest
+
+import (
+	"fmt"
+	"sort"
+
+	"rfidest/internal/core"
+	"rfidest/internal/estimators"
+	"rfidest/internal/timing"
+)
+
+// Estimate is the outcome of one estimation run over a System.
+type Estimate struct {
+	// N is the estimated cardinality n̂.
+	N float64
+	// Seconds is the protocol's air time under EPCglobal C1G2 — the
+	// paper's "overall execution time" metric.
+	Seconds float64
+	// Slots is the number of tag→reader slots the protocol consumed.
+	Slots int
+	// ReaderBits is the number of bits the reader broadcast (parameters
+	// and seeds) — the cost component the paper shows dominates ZOE.
+	ReaderBits int
+	// Rounds is the number of protocol rounds/frames executed.
+	Rounds int
+	// Guarded reports whether the protocol's (ε, δ) guarantee machinery
+	// was in effect (for BFCE: Theorem 3 had a feasible persistence
+	// probability at the rough lower bound).
+	Guarded bool
+	// TagTransmissions is the total number of tag backscatter
+	// transmissions the protocol triggered — the tag-side energy proxy
+	// (each transmission drains an active tag's battery). -1 if the
+	// session's engine does not meter energy.
+	TagTransmissions int
+}
+
+func fromResult(r estimators.Result) Estimate {
+	return Estimate{
+		N:          r.Estimate,
+		Seconds:    r.Seconds,
+		Slots:      r.Slots,
+		ReaderBits: r.Cost.ReaderBits,
+		Rounds:     r.Rounds,
+		Guarded:    r.Guarded,
+	}
+}
+
+// EstimateBFCE runs the paper's estimator to the (ε, δ) requirement:
+// P(|n̂ − n| ≤ ε·n) ≥ 1 − δ. Both parameters must lie in (0, 1).
+func (s *System) EstimateBFCE(epsilon, delta float64) (Estimate, error) {
+	return s.EstimateWith("BFCE", epsilon, delta)
+}
+
+// registry maps protocol names to fresh estimator instances.
+var registry = map[string]func() estimators.Estimator{
+	"BFCE":        func() estimators.Estimator { return estimators.NewBFCE() },
+	"BFCE-multi":  func() estimators.Estimator { return estimators.NewBFCEMulti() },
+	"ZOE":         func() estimators.Estimator { return estimators.NewZOE() },
+	"ZOE-batched": func() estimators.Estimator { return estimators.NewZOEBatched() },
+	"SRC":         func() estimators.Estimator { return estimators.NewSRC() },
+	"LOF":         func() estimators.Estimator { return estimators.NewLOF() },
+	"UPE":         func() estimators.Estimator { return estimators.NewUPE() },
+	"EZB":         func() estimators.Estimator { return estimators.NewEZB() },
+	"FNEB":        func() estimators.Estimator { return estimators.NewFNEB() },
+	"MLE":         func() estimators.Estimator { return estimators.NewMLE() },
+	"ART":         func() estimators.Estimator { return estimators.NewART() },
+	"PET":         func() estimators.Estimator { return estimators.NewPET() },
+}
+
+// Estimators returns the names accepted by EstimateWith, sorted.
+func Estimators() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EstimateWith runs the named protocol (see Estimators) to the (ε, δ)
+// requirement over a fresh session.
+func (s *System) EstimateWith(name string, epsilon, delta float64) (Estimate, error) {
+	mk, ok := registry[name]
+	if !ok {
+		return Estimate{}, fmt.Errorf("rfidest: unknown estimator %q (known: %v)", name, Estimators())
+	}
+	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
+		return Estimate{}, fmt.Errorf("rfidest: epsilon and delta must be in (0, 1), got (%v, %v)", epsilon, delta)
+	}
+	session := s.session()
+	res, err := mk().Estimate(session, estimators.Accuracy{Epsilon: epsilon, Delta: delta})
+	if err != nil {
+		return Estimate{}, err
+	}
+	est := fromResult(res)
+	est.TagTransmissions = session.TagTransmissions()
+	return est, nil
+}
+
+// BFCEDetail runs BFCE and returns the protocol's internal diagnostics
+// alongside the estimate: the rough estimate, the lower bound, the chosen
+// persistence numerators and the probe behaviour.
+type BFCEDetail struct {
+	Estimate    Estimate
+	Rough       float64 // n̂_r from the 1024-slot rough phase
+	LowerBound  float64 // n̂_low = c·n̂_r
+	ProbePn     int     // persistence numerator the probe settled on (p_s·1024)
+	OptimalPn   int     // numerator of the accurate phase (p_o·1024)
+	ProbeRounds int     // probe adjustments before p_s was valid
+	Feasible    bool    // Theorem 3 had a feasible p_o at n̂_low
+	Saturated   bool    // a phase saw a degenerate all-0s/all-1s vector
+}
+
+// EstimateBFCEDetail is EstimateBFCE with full diagnostics.
+func (s *System) EstimateBFCEDetail(epsilon, delta float64) (BFCEDetail, error) {
+	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
+		return BFCEDetail{}, fmt.Errorf("rfidest: epsilon and delta must be in (0, 1), got (%v, %v)", epsilon, delta)
+	}
+	est, err := core.New(core.Config{Epsilon: epsilon, Delta: delta})
+	if err != nil {
+		return BFCEDetail{}, err
+	}
+	r := s.session()
+	res, err := est.Estimate(r)
+	if err != nil {
+		return BFCEDetail{}, err
+	}
+	return BFCEDetail{
+		Estimate: Estimate{
+			N:          res.Estimate,
+			Seconds:    res.Seconds,
+			Slots:      res.Cost.TagSlots,
+			ReaderBits: res.Cost.ReaderBits,
+			Rounds:     1,
+			Guarded:    res.Feasible,
+		},
+		Rough:       res.Rough,
+		LowerBound:  res.LowerBound,
+		ProbePn:     res.PsNum,
+		OptimalPn:   res.PoNum,
+		ProbeRounds: res.ProbeRounds,
+		Feasible:    res.Feasible,
+		Saturated:   res.Saturated,
+	}, nil
+}
+
+// ConstantTimeBudget returns the paper's closed-form bound on BFCE's air
+// time under EPCglobal C1G2 — "less than 0.19 s" (§IV-E.1) — in seconds.
+func ConstantTimeBudget() float64 {
+	return timing.BFCEBudgetSeconds(timing.C1G2)
+}
+
+// MaxCardinality returns the largest cardinality the paper's w = 8192
+// configuration can express (γ_max·w > 19 million, §IV-B).
+func MaxCardinality() float64 {
+	return core.MaxCardinality(3, 8192, 1024)
+}

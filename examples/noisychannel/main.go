@@ -1,0 +1,59 @@
+// Noisychannel: probe the paper's perfect-channel assumption (§III-A).
+// BFCE reads only busy/idle per slot, so a misread slot shifts the idle
+// fraction ρ̄ and, through n̂ = -w·ln(ρ̄)/(k·p), the estimate. This example
+// sweeps symmetric reader error rates and shows how gracefully the
+// estimate degrades — and at what error rate the (0.05, 0.05) requirement
+// stops holding.
+//
+//	go run ./examples/noisychannel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rfidest"
+)
+
+func main() {
+	const n = 150000
+	const trials = 10
+
+	fmt.Println("false-busy  false-idle  mean-err%  worst-err%")
+	fmt.Println("----------------------------------------------")
+	for _, rates := range [][2]float64{
+		{0, 0},
+		{0.001, 0}, {0.005, 0}, {0.02, 0},
+		{0, 0.001}, {0, 0.005}, {0, 0.02},
+		{0.01, 0.01},
+	} {
+		var sum, worst float64
+		for trial := 0; trial < trials; trial++ {
+			sys := rfidest.NewSystem(n,
+				rfidest.WithSeed(uint64(500+trial)),
+				rfidest.WithNoise(rates[0], rates[1]))
+			est, err := sys.EstimateBFCE(0.05, 0.05)
+			if err != nil {
+				log.Fatal(err)
+			}
+			re := abs(est.N-n) / n
+			sum += re
+			if re > worst {
+				worst = re
+			}
+		}
+		fmt.Printf("%9.3f  %9.3f   %7.2f%%    %7.2f%%\n",
+			rates[0], rates[1], 100*sum/trials, 100*worst)
+	}
+	fmt.Println("\nfalse-busy errors hide idle slots → over-estimates;")
+	fmt.Println("false-idle errors fabricate idle slots → under-estimates.")
+	fmt.Println("sub-0.5% error rates stay within the paper's 5% envelope;")
+	fmt.Println("a production deployment would calibrate and subtract the floor.")
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

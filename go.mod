@@ -1,0 +1,3 @@
+module rfidest
+
+go 1.22

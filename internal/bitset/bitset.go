@@ -1,0 +1,157 @@
+// Package bitset provides a fixed-length packed bit vector. It backs the
+// Bloom-filter structures of this repository: a reader that archives one
+// BFCE snapshot per monitoring round stores w bits per round, and the
+// set-algebra operations (AND/OR/count) on packed words are what make
+// differential estimation over long archives practical.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Set is a fixed-length bit vector. The zero value is unusable; construct
+// with New.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns a Set of n bits, all zero. It panics if n < 0.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative length")
+	}
+	return &Set{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of bits.
+func (s *Set) Len() int { return s.n }
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of [0, %d)", i, s.n))
+	}
+}
+
+// Set1 sets bit i.
+func (s *Set) Set1(i int) {
+	s.check(i)
+	s.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// Get reports bit i.
+func (s *Set) Get(i int) bool {
+	s.check(i)
+	return s.words[i>>6]>>uint(i&63)&1 == 1
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Fraction returns Count/Len (0 for an empty set).
+func (s *Set) Fraction() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(s.Count()) / float64(s.n)
+}
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}
+
+// sameLen panics unless the operands have equal length.
+func (s *Set) sameLen(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: length mismatch %d vs %d", s.n, o.n))
+	}
+}
+
+// And sets s to s AND o, in place, and returns s.
+func (s *Set) And(o *Set) *Set {
+	s.sameLen(o)
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+	return s
+}
+
+// Or sets s to s OR o, in place, and returns s.
+func (s *Set) Or(o *Set) *Set {
+	s.sameLen(o)
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+	return s
+}
+
+// AndCount returns the number of positions set in both s and o, without
+// allocating.
+func (s *Set) AndCount(o *Set) int {
+	s.sameLen(o)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & o.words[i])
+	}
+	return c
+}
+
+// OrCount returns the number of positions set in s or o, without
+// allocating.
+func (s *Set) OrCount(o *Set) int {
+	s.sameLen(o)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w | o.words[i])
+	}
+	return c
+}
+
+// Equal reports whether s and o have identical length and bits.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FromBools builds a Set from a bool slice.
+func FromBools(b []bool) *Set {
+	s := New(len(b))
+	for i, v := range b {
+		if v {
+			s.Set1(i)
+		}
+	}
+	return s
+}
+
+// Bools renders the Set as a bool slice.
+func (s *Set) Bools() []bool {
+	out := make([]bool, s.n)
+	for i := range out {
+		out[i] = s.Get(i)
+	}
+	return out
+}

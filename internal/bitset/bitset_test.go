@@ -1,0 +1,158 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	s := New(130) // crosses word boundaries
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Get(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		s.Set1(i)
+		if !s.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+		s.Clear(i)
+		if s.Get(i) {
+			t.Fatalf("bit %d not cleared", i)
+		}
+	}
+}
+
+func TestCountAndFraction(t *testing.T) {
+	s := New(100)
+	for i := 0; i < 100; i += 2 {
+		s.Set1(i)
+	}
+	if s.Count() != 50 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Fraction() != 0.5 {
+		t.Fatalf("Fraction = %v", s.Fraction())
+	}
+	if New(0).Fraction() != 0 {
+		t.Fatal("empty Fraction != 0")
+	}
+}
+
+func TestBoundsPanics(t *testing.T) {
+	s := New(10)
+	for _, f := range []func(){
+		func() { s.Get(-1) },
+		func() { s.Get(10) },
+		func() { s.Set1(10) },
+		func() { s.Clear(-1) },
+		func() { New(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAndOrCounts(t *testing.T) {
+	a, b := New(128), New(128)
+	for i := 0; i < 128; i += 2 {
+		a.Set1(i)
+	}
+	for i := 0; i < 128; i += 3 {
+		b.Set1(i)
+	}
+	// Multiples of 6 in [0,128): 22. Multiples of 2 or 3: 64+43-22=85.
+	if got := a.AndCount(b); got != 22 {
+		t.Fatalf("AndCount = %d", got)
+	}
+	if got := a.OrCount(b); got != 85 {
+		t.Fatalf("OrCount = %d", got)
+	}
+	// In-place versions agree with the counting versions.
+	and := a.Clone().And(b)
+	or := a.Clone().Or(b)
+	if and.Count() != 22 || or.Count() != 85 {
+		t.Fatalf("in-place And/Or = %d/%d", and.Count(), or.Count())
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	New(10).And(New(11))
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(64)
+	a.Set1(3)
+	b := a.Clone()
+	b.Set1(5)
+	if a.Get(5) {
+		t.Fatal("Clone shares storage")
+	}
+	if !b.Get(3) {
+		t.Fatal("Clone lost bits")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(70), New(70)
+	if !a.Equal(b) {
+		t.Fatal("fresh sets not equal")
+	}
+	a.Set1(69)
+	if a.Equal(b) {
+		t.Fatal("differing sets equal")
+	}
+	if a.Equal(New(71)) {
+		t.Fatal("different lengths equal")
+	}
+}
+
+func TestBoolsRoundTrip(t *testing.T) {
+	f := func(raw []bool) bool {
+		s := FromBools(raw)
+		out := s.Bools()
+		if len(out) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			if out[i] != raw[i] {
+				return false
+			}
+		}
+		count := 0
+		for _, v := range raw {
+			if v {
+				count++
+			}
+		}
+		return count == s.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	// |a OR b| + |a AND b| == |a| + |b| for any equal-length sets.
+	f := func(x, y []bool) bool {
+		n := len(x)
+		if len(y) < n {
+			n = len(y)
+		}
+		a, b := FromBools(x[:n]), FromBools(y[:n])
+		return a.OrCount(b)+a.AndCount(b) == a.Count()+b.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package bloom is a standalone Bloom filter with cardinality estimation —
+// the reader-side data structure BFCE builds over the air, offered as a
+// library in its own right. Besides membership (the classic Bloom use),
+// the filter estimates how many distinct items were inserted from its fill
+// fraction (Swamidass–Baldi), which is exactly Theorem 2 of the paper with
+// p = 1:
+//
+//	n̂ = -(w/k) · ln(1 - fill)
+//
+// and supports the same set algebra differential BFCE snapshots use: the
+// union of two same-parameter filters is their bitwise OR, and
+// intersection cardinality follows by inclusion–exclusion.
+package bloom
+
+import (
+	"errors"
+	"math"
+
+	"rfidest/internal/bitset"
+	"rfidest/internal/hash"
+	"rfidest/internal/xrand"
+)
+
+// Filter is a w-bit Bloom filter with k seeded hash functions.
+type Filter struct {
+	bits *bitset.Set
+	w    int
+	k    int
+	seed uint64
+}
+
+// New returns an empty filter of w bits with k hashes under seed. Filters
+// are compatible for set algebra iff all three parameters match. It panics
+// if w or k is non-positive.
+func New(w, k int, seed uint64) *Filter {
+	if w <= 0 || k <= 0 {
+		panic("bloom: w and k must be positive")
+	}
+	return &Filter{bits: bitset.New(w), w: w, k: k, seed: seed}
+}
+
+// NewForCapacity returns a filter sized for n items at the given false
+// positive rate, using the standard optima w = -n·ln(fp)/ln2² and
+// k = (w/n)·ln2. It panics on degenerate arguments.
+func NewForCapacity(n int, fp float64, seed uint64) *Filter {
+	if n <= 0 || fp <= 0 || fp >= 1 {
+		panic("bloom: invalid capacity parameters")
+	}
+	w := int(math.Ceil(-float64(n) * math.Log(fp) / (math.Ln2 * math.Ln2)))
+	k := int(math.Round(float64(w) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return New(w, k, seed)
+}
+
+// W returns the filter length in bits.
+func (f *Filter) W() int { return f.w }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// Add inserts an item.
+func (f *Filter) Add(item uint64) {
+	for j := 0; j < f.k; j++ {
+		f.bits.Set1(hash.UniformSlot(item, xrand.Combine(f.seed, uint64(j)), f.w))
+	}
+}
+
+// Contains reports whether item may have been inserted (no false
+// negatives; false positives at the design rate).
+func (f *Filter) Contains(item uint64) bool {
+	for j := 0; j < f.k; j++ {
+		if !f.bits.Get(hash.UniformSlot(item, xrand.Combine(f.seed, uint64(j)), f.w)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill returns the fraction of set bits.
+func (f *Filter) Fill() float64 { return f.bits.Fraction() }
+
+// Cardinality estimates the number of distinct items inserted
+// (Swamidass–Baldi). A saturated filter estimates from one unset bit's
+// worth of resolution.
+func (f *Filter) Cardinality() float64 {
+	return cardinalityFromFill(f.Fill(), f.w, f.k)
+}
+
+func cardinalityFromFill(fill float64, w, k int) float64 {
+	if fill <= 0 {
+		return 0
+	}
+	max := 1 - 0.5/float64(w)
+	if fill > max {
+		fill = max
+	}
+	return -float64(w) / float64(k) * math.Log1p(-fill)
+}
+
+// FalsePositiveRate returns the filter's current false positive
+// probability, fill^k.
+func (f *Filter) FalsePositiveRate() float64 {
+	return math.Pow(f.Fill(), float64(f.k))
+}
+
+func (f *Filter) compatible(o *Filter) error {
+	if f.w != o.w || f.k != o.k || f.seed != o.seed {
+		return errors.New("bloom: incompatible filter parameters")
+	}
+	return nil
+}
+
+// Union returns a new filter representing the union of f and o (bitwise
+// OR). The operands are unchanged.
+func (f *Filter) Union(o *Filter) (*Filter, error) {
+	if err := f.compatible(o); err != nil {
+		return nil, err
+	}
+	u := &Filter{bits: f.bits.Clone().Or(o.bits), w: f.w, k: f.k, seed: f.seed}
+	return u, nil
+}
+
+// UnionCardinality estimates |A ∪ B| without materializing the union.
+func (f *Filter) UnionCardinality(o *Filter) (float64, error) {
+	if err := f.compatible(o); err != nil {
+		return 0, err
+	}
+	fill := float64(f.bits.OrCount(o.bits)) / float64(f.w)
+	return cardinalityFromFill(fill, f.w, f.k), nil
+}
+
+// IntersectCardinality estimates |A ∩ B| by inclusion–exclusion. The
+// result is clamped at 0 (the three estimates carry independent noise).
+func (f *Filter) IntersectCardinality(o *Filter) (float64, error) {
+	u, err := f.UnionCardinality(o)
+	if err != nil {
+		return 0, err
+	}
+	inter := f.Cardinality() + o.Cardinality() - u
+	if inter < 0 {
+		inter = 0
+	}
+	return inter, nil
+}
+
+// FromBits constructs a filter over an existing observation vector (true =
+// set bit). BFCE snapshots become Filters this way: the over-the-air Bloom
+// vector, reinterpreted for archive-side set algebra. Note the persistence
+// thinning: a snapshot taken at persistence p estimates n·p distinct
+// "effective insertions", so callers must divide by p.
+func FromBits(set []bool, k int, seed uint64) *Filter {
+	return &Filter{bits: bitset.FromBools(set), w: len(set), k: k, seed: seed}
+}

@@ -1,0 +1,199 @@
+package bloom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(4096, 3, 1)
+	for i := uint64(0); i < 500; i++ {
+		f.Add(i * 7919)
+	}
+	for i := uint64(0); i < 500; i++ {
+		if !f.Contains(i * 7919) {
+			t.Fatalf("false negative for %d", i*7919)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearDesign(t *testing.T) {
+	const n, fp = 2000, 0.01
+	f := NewForCapacity(n, fp, 2)
+	for i := uint64(0); i < n; i++ {
+		f.Add(i)
+	}
+	hits := 0
+	const probes = 20000
+	for i := uint64(0); i < probes; i++ {
+		if f.Contains(1<<40 + i) {
+			hits++
+		}
+	}
+	rate := float64(hits) / probes
+	if rate > 3*fp {
+		t.Fatalf("observed fp rate %v, designed %v", rate, fp)
+	}
+	if pred := f.FalsePositiveRate(); math.Abs(pred-rate) > 0.02 {
+		t.Fatalf("predicted fp %v far from observed %v", pred, rate)
+	}
+}
+
+func TestCardinalityEstimate(t *testing.T) {
+	for _, n := range []int{100, 1000, 5000} {
+		f := New(65536, 3, 3)
+		for i := 0; i < n; i++ {
+			f.Add(uint64(i) + 17)
+		}
+		got := f.Cardinality()
+		if math.Abs(got-float64(n))/float64(n) > 0.05 {
+			t.Fatalf("cardinality of %d items estimated as %v", n, got)
+		}
+	}
+}
+
+func TestCardinalityEmptyAndSaturated(t *testing.T) {
+	f := New(64, 2, 4)
+	if f.Cardinality() != 0 {
+		t.Fatal("empty filter cardinality != 0")
+	}
+	for i := uint64(0); i < 10000; i++ {
+		f.Add(i)
+	}
+	if c := f.Cardinality(); math.IsInf(c, 0) || math.IsNaN(c) {
+		t.Fatalf("saturated filter cardinality = %v", c)
+	}
+}
+
+func TestUnionAlgebra(t *testing.T) {
+	a := New(65536, 3, 5)
+	b := New(65536, 3, 5)
+	// A = [0, 3000), B = [2000, 5000): union 5000, intersection 1000.
+	for i := uint64(0); i < 3000; i++ {
+		a.Add(i)
+	}
+	for i := uint64(2000); i < 5000; i++ {
+		b.Add(i)
+	}
+	u, err := a.UnionCardinality(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-5000)/5000 > 0.05 {
+		t.Fatalf("union cardinality %v, want ~5000", u)
+	}
+	inter, err := a.IntersectCardinality(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(inter-1000) > 300 {
+		t.Fatalf("intersection cardinality %v, want ~1000", inter)
+	}
+	// Materialized union agrees with the counting version.
+	uf, err := a.Union(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(uf.Cardinality()-u) > 1e-9 {
+		t.Fatalf("materialized union %v vs counted %v", uf.Cardinality(), u)
+	}
+	// Union contains members of both sides.
+	if !uf.Contains(100) || !uf.Contains(4500) {
+		t.Fatal("union lost members")
+	}
+}
+
+func TestIncompatibleFilters(t *testing.T) {
+	a := New(64, 2, 1)
+	for _, b := range []*Filter{New(128, 2, 1), New(64, 3, 1), New(64, 2, 9)} {
+		if _, err := a.Union(b); err == nil {
+			t.Fatal("incompatible union accepted")
+		}
+		if _, err := a.UnionCardinality(b); err == nil {
+			t.Fatal("incompatible union cardinality accepted")
+		}
+		if _, err := a.IntersectCardinality(b); err == nil {
+			t.Fatal("incompatible intersection accepted")
+		}
+	}
+}
+
+func TestNewForCapacityShape(t *testing.T) {
+	f := NewForCapacity(10000, 0.01, 1)
+	// Optimal: w ≈ 9.59 bits/item, k ≈ 7.
+	if f.W() < 90000 || f.W() > 100000 {
+		t.Fatalf("w = %d", f.W())
+	}
+	if f.K() < 6 || f.K() > 8 {
+		t.Fatalf("k = %d", f.K())
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1, 1) },
+		func() { New(1, 0, 1) },
+		func() { NewForCapacity(0, 0.01, 1) },
+		func() { NewForCapacity(10, 1.5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad constructor did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromBitsMatchesTheorem2(t *testing.T) {
+	// A half-full 8192-bit vector with k=3: n̂ = -(w/k)·ln(1-fill).
+	set := make([]bool, 8192)
+	for i := 0; i < 4096; i++ {
+		set[i] = true
+	}
+	f := FromBits(set, 3, 0)
+	want := -8192.0 / 3 * math.Log(0.5)
+	if math.Abs(f.Cardinality()-want) > 1e-9 {
+		t.Fatalf("FromBits cardinality %v, want %v", f.Cardinality(), want)
+	}
+}
+
+func TestUnionCommutativeProperty(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := New(2048, 2, 7), New(2048, 2, 7)
+		for _, x := range xs {
+			a.Add(uint64(x))
+		}
+		for _, y := range ys {
+			b.Add(uint64(y))
+		}
+		ab, _ := a.UnionCardinality(b)
+		ba, _ := b.UnionCardinality(a)
+		return ab == ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionUpperBoundsPartsProperty(t *testing.T) {
+	// |A ∪ B| estimate is at least each side's own estimate (monotone
+	// fill under OR).
+	f := func(xs, ys []uint16) bool {
+		a, b := New(2048, 2, 8), New(2048, 2, 8)
+		for _, x := range xs {
+			a.Add(uint64(x))
+		}
+		for _, y := range ys {
+			b.Add(uint64(y))
+		}
+		u, _ := a.UnionCardinality(b)
+		return u >= a.Cardinality()-1e-9 && u >= b.Cardinality()-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

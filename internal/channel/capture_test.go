@@ -1,0 +1,84 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"rfidest/internal/tags"
+)
+
+func TestCaptureFlipsCollisions(t *testing.T) {
+	// Saturated frame: nearly all slots collide; capture at 0.4 must turn
+	// ~40% of them into singletons. Twin engines with the same seed replay
+	// the same frame (a BallsEngine's frame stream advances per call).
+	e := NewCaptureEngine(NewBallsEngine(100000, 71), 0.4, 72)
+	req := FrameRequest{W: 1024, K: 1, P: 1, Seed: 1}
+	base := NewBallsEngine(100000, 71).RunFrameOccupancy(req)
+	captured := e.RunFrameOccupancy(req)
+	baseColl := base.Count(Collision)
+	capturedColl := captured.Count(Collision)
+	got := 1 - float64(capturedColl)/float64(baseColl)
+	if math.Abs(got-0.4) > 0.06 {
+		t.Fatalf("capture rate %v, want ~0.4", got)
+	}
+}
+
+func TestCaptureInvisibleToBitSlots(t *testing.T) {
+	pop := tags.Generate(2000, tags.T1, 73)
+	inner := NewTagEngine(pop, IdealRN)
+	e := NewCaptureEngine(inner, 0.9, 74)
+	req := FrameRequest{W: 512, K: 2, P: 0.5, Seed: 3}
+	a := inner.RunFrame(req)
+	b := e.RunFrame(req)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("capture altered a bit-slot frame")
+		}
+	}
+	if e.FirstResponse(req, 512) != inner.FirstResponse(req, 512) {
+		t.Fatal("capture altered first-response scans")
+	}
+	if e.Size() != inner.Size() {
+		t.Fatal("Size not delegated")
+	}
+	if e.TagTransmissions() != inner.TagTransmissions() {
+		t.Fatal("energy not delegated")
+	}
+}
+
+func TestCaptureZeroIsTransparent(t *testing.T) {
+	e := NewCaptureEngine(NewBallsEngine(5000, 75), 0, 76)
+	req := FrameRequest{W: 256, K: 1, P: 1, Seed: 5}
+	a := NewBallsEngine(5000, 75).RunFrameOccupancy(req)
+	b := e.RunFrameOccupancy(req)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("zero capture altered occupancy")
+		}
+	}
+}
+
+func TestCapturePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad capture probability did not panic")
+		}
+	}()
+	NewCaptureEngine(NewBallsEngine(1, 1), 1.5, 1)
+}
+
+func TestCaptureBiasesUPEStyleCounting(t *testing.T) {
+	// Capture converts collisions to singletons, so an empty-slot count
+	// is unaffected but a collision count drops — the bias that
+	// collision-based estimators inherit.
+	e := NewCaptureEngine(NewBallsEngine(3000, 77), 0.3, 78)
+	req := FrameRequest{W: 1024, K: 1, P: 1, Seed: 7}
+	base := NewBallsEngine(3000, 77).RunFrameOccupancy(req)
+	cap := e.RunFrameOccupancy(req)
+	if base.Count(Empty) != cap.Count(Empty) {
+		t.Fatal("capture must not touch empty slots")
+	}
+	if cap.Count(Collision) >= base.Count(Collision) {
+		t.Fatal("capture did not reduce collisions")
+	}
+}

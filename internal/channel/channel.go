@@ -1,0 +1,140 @@
+// Package channel simulates the time-slotted, Reader-Talks-First physical
+// channel between one (logical) RFID reader and a tag population (§III-A).
+//
+// The unit of communication is the bit-slot: tags that selected a slot
+// transmit a short signal there, and the reader only distinguishes busy
+// (at least one transmission) from idle. A frame is a consecutive run of
+// bit-slots configured by parameters the reader broadcasts beforehand
+// (frame size w, hash count k, persistence probability p, random seeds).
+//
+// Two engines execute frames:
+//
+//   - TagEngine walks every tag and executes the tag-side algorithm
+//     literally (Algorithm 2 of the paper), including the paper's
+//     XOR/bitget hash and RN-based persistence when configured. O(n·k) per
+//     frame.
+//   - BallsEngine samples the exact occupancy law of the same process
+//     (Binomial-thinned balls scattered multinomially), without iterating
+//     tags. O(n·k·p + w) per frame. It is statistically exact for ideal
+//     hashing, which makes large comparison sweeps (ZOE's thousands of
+//     single-slot frames) tractable.
+//
+// A Reader ties an engine to a timing.Clock so protocols are charged for
+// every broadcast bit and every sensed slot, which is how the paper's
+// "overall execution time" metric is produced.
+package channel
+
+import "fmt"
+
+// SlotDist selects how a tag's hash maps to a slot index.
+type SlotDist int
+
+const (
+	// Uniform hashing: each hash selects a slot uniformly in [0, w).
+	// Used by BFCE, ZOE, SRC, UPE, EZB, FNEB, MLE, ART.
+	Uniform SlotDist = iota
+	// Geometric hashing: slot j is selected with probability 2^{-(j+1)}
+	// (capped at the last slot). Used by lottery-frame protocols (LOF, PET).
+	Geometric
+)
+
+// FrameRequest describes one frame the reader initiates.
+type FrameRequest struct {
+	W       int      // announced frame size (hash range), > 0
+	K       int      // hashes (slot selections) per tag, > 0
+	P       float64  // persistence probability in [0, 1]
+	Observe int      // slots the reader senses; 0 means W, else must be <= W
+	Dist    SlotDist // slot-selection distribution
+	Seed    uint64   // frame seed; fresh per frame
+}
+
+func (req FrameRequest) validate() (observe int) {
+	if req.W <= 0 {
+		panic("channel: frame with non-positive w")
+	}
+	if req.K <= 0 {
+		panic("channel: frame with non-positive k")
+	}
+	if req.P < 0 || req.P > 1 {
+		panic(fmt.Sprintf("channel: persistence %v out of [0,1]", req.P))
+	}
+	observe = req.Observe
+	if observe == 0 {
+		observe = req.W
+	}
+	if observe < 0 || observe > req.W {
+		panic("channel: observe out of range")
+	}
+	return observe
+}
+
+// BitVec is the reader-side view of a frame: Busy[i] reports whether slot i
+// was busy. (The paper's B stores the complement — B(i)=1 for idle — but
+// busy/idle is the physical observation; estimators convert as needed.)
+type BitVec []bool
+
+// CountBusy returns the number of busy slots.
+func (b BitVec) CountBusy() int {
+	n := 0
+	for _, busy := range b {
+		if busy {
+			n++
+		}
+	}
+	return n
+}
+
+// CountIdle returns the number of idle slots.
+func (b BitVec) CountIdle() int { return len(b) - b.CountBusy() }
+
+// RhoIdle returns the fraction of idle slots — the paper's ρ̄, the mean of
+// the Bloom vector B whose bits are 1 for idle slots.
+func (b BitVec) RhoIdle() float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	return float64(b.CountIdle()) / float64(len(b))
+}
+
+// FirstBusy returns the index of the first busy slot, or -1 if none.
+func (b BitVec) FirstBusy() int {
+	for i, busy := range b {
+		if busy {
+			return i
+		}
+	}
+	return -1
+}
+
+// Runs returns the lengths of maximal runs of busy slots (used by ART).
+func (b BitVec) Runs() []int {
+	var runs []int
+	cur := 0
+	for _, busy := range b {
+		if busy {
+			cur++
+		} else if cur > 0 {
+			runs = append(runs, cur)
+			cur = 0
+		}
+	}
+	if cur > 0 {
+		runs = append(runs, cur)
+	}
+	return runs
+}
+
+// Engine executes frames against a (real or synthetic) tag population.
+type Engine interface {
+	// RunFrame executes one frame and returns the busy/idle observation of
+	// the first Observe slots.
+	RunFrame(req FrameRequest) BitVec
+	// FirstResponse returns the index of the first busy slot of the frame,
+	// scanning at most maxScan slots, or -1 if the scanned prefix is idle.
+	// Protocols that terminate a frame at the first reply (FNEB) use this
+	// instead of materializing enormous frames.
+	FirstResponse(req FrameRequest, maxScan int) int
+	// Size returns the ground-truth population size. It exists for harness
+	// bookkeeping and MUST NOT be consulted by estimator logic.
+	Size() int
+}

@@ -1,0 +1,292 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"rfidest/internal/stats"
+	"rfidest/internal/tags"
+)
+
+func TestBitVecCounts(t *testing.T) {
+	b := BitVec{true, false, true, true, false}
+	if b.CountBusy() != 3 || b.CountIdle() != 2 {
+		t.Fatalf("counts wrong: busy=%d idle=%d", b.CountBusy(), b.CountIdle())
+	}
+	if math.Abs(b.RhoIdle()-0.4) > 1e-12 {
+		t.Fatalf("RhoIdle = %v", b.RhoIdle())
+	}
+	if b.FirstBusy() != 0 {
+		t.Fatalf("FirstBusy = %d", b.FirstBusy())
+	}
+}
+
+func TestBitVecEmptyAndAllIdle(t *testing.T) {
+	if (BitVec{}).RhoIdle() != 0 {
+		t.Fatal("empty RhoIdle != 0")
+	}
+	b := BitVec{false, false}
+	if b.FirstBusy() != -1 {
+		t.Fatal("all-idle FirstBusy != -1")
+	}
+	if b.RhoIdle() != 1 {
+		t.Fatal("all-idle RhoIdle != 1")
+	}
+}
+
+func TestBitVecRuns(t *testing.T) {
+	b := BitVec{true, true, false, true, false, true, true, true}
+	runs := b.Runs()
+	want := []int{2, 1, 3}
+	if len(runs) != len(want) {
+		t.Fatalf("runs = %v", runs)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("runs = %v, want %v", runs, want)
+		}
+	}
+	if len(BitVec{false}.Runs()) != 0 {
+		t.Fatal("idle-only frame must have no runs")
+	}
+}
+
+func TestFrameRequestValidation(t *testing.T) {
+	bad := []FrameRequest{
+		{W: 0, K: 1, P: 0.5},
+		{W: 8, K: 0, P: 0.5},
+		{W: 8, K: 1, P: -0.1},
+		{W: 8, K: 1, P: 1.1},
+		{W: 8, K: 1, P: 0.5, Observe: 9},
+		{W: 8, K: 1, P: 0.5, Observe: -1},
+	}
+	for i, req := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			req.validate()
+		}()
+	}
+	if got := (FrameRequest{W: 8, K: 1, P: 0.5}).validate(); got != 8 {
+		t.Fatalf("default observe = %d", got)
+	}
+	if got := (FrameRequest{W: 8, K: 1, P: 0.5, Observe: 3}).validate(); got != 3 {
+		t.Fatalf("explicit observe = %d", got)
+	}
+}
+
+// expectedRho is e^{-kpn/w}, Theorem 1's idle probability.
+func expectedRho(n, k int, p float64, w int) float64 {
+	return math.Exp(-float64(k) * p * float64(n) / float64(w))
+}
+
+func testEngineRho(t *testing.T, e Engine, n int, label string) {
+	t.Helper()
+	req := FrameRequest{W: 8192, K: 3, P: 0.1, Seed: 99}
+	const rounds = 8
+	sum := 0.0
+	for i := 0; i < rounds; i++ {
+		req.Seed = uint64(1000 + i)
+		sum += e.RunFrame(req).RhoIdle()
+	}
+	got := sum / rounds
+	want := expectedRho(n, req.K, req.P, req.W)
+	// sd of one frame's rho ~ sqrt(rho(1-rho)/w) ~ 0.004; averaged over 8.
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("%s: mean rho = %v, want ~%v", label, got, want)
+	}
+}
+
+func TestTagEngineRhoMatchesTheorem1(t *testing.T) {
+	pop := tags.Generate(20000, tags.T1, 5)
+	testEngineRho(t, NewTagEngine(pop, IdealRN), 20000, "ideal-rn")
+	testEngineRho(t, NewTagEngine(pop, IdealID), 20000, "ideal-id")
+	testEngineRho(t, NewTagEngine(pop, PaperXOR), 20000, "paper-xor")
+}
+
+func TestBallsEngineRhoMatchesTheorem1(t *testing.T) {
+	testEngineRho(t, NewBallsEngine(20000, 7), 20000, "balls")
+}
+
+func TestTagEngineDistributionInvariance(t *testing.T) {
+	// The same frame over T1/T2/T3 populations of equal size must produce
+	// statistically identical rho (the core robustness claim).
+	req := FrameRequest{W: 8192, K: 3, P: 0.2, Seed: 31337}
+	var rhos []float64
+	for _, d := range tags.Distributions {
+		pop := tags.Generate(30000, d, 77)
+		e := NewTagEngine(pop, IdealRN)
+		sum := 0.0
+		for i := 0; i < 6; i++ {
+			req.Seed = uint64(42 + i)
+			sum += e.RunFrame(req).RhoIdle()
+		}
+		rhos = append(rhos, sum/6)
+	}
+	for _, r := range rhos[1:] {
+		if math.Abs(r-rhos[0]) > 0.012 {
+			t.Fatalf("rho differs across distributions: %v", rhos)
+		}
+	}
+}
+
+func TestEnginesAgree(t *testing.T) {
+	// TagEngine and BallsEngine must sample the same busy-count
+	// distribution. Compare mean busy counts over repeated frames.
+	const n, trials = 5000, 30
+	pop := tags.Generate(n, tags.T1, 9)
+	te := NewTagEngine(pop, IdealRN)
+	be := NewBallsEngine(n, 9)
+	req := FrameRequest{W: 1024, K: 3, P: 0.05}
+	var sumT, sumB float64
+	for i := 0; i < trials; i++ {
+		req.Seed = uint64(i)
+		sumT += float64(te.RunFrame(req).CountBusy())
+		sumB += float64(be.RunFrame(req).CountBusy())
+	}
+	meanT, meanB := sumT/trials, sumB/trials
+	// Busy count ~ w(1-e^{-λ}) ≈ 536; per-frame sd ~ sqrt(w·p(1-p)) ~ 21.
+	if math.Abs(meanT-meanB) > 25 {
+		t.Fatalf("engines disagree: tag=%v balls=%v", meanT, meanB)
+	}
+}
+
+func TestEnginesAgreeKS(t *testing.T) {
+	// Distribution-level agreement: the busy-count samples of the two
+	// engines must pass a two-sample Kolmogorov–Smirnov test, not merely
+	// share a mean.
+	const n, frames = 3000, 400
+	pop := tags.Generate(n, tags.T1, 117)
+	te := NewTagEngine(pop, IdealRN)
+	be := NewBallsEngine(n, 117)
+	req := FrameRequest{W: 512, K: 2, P: 0.1}
+	var xs, ys []float64
+	for i := 0; i < frames; i++ {
+		req.Seed = uint64(i)
+		xs = append(xs, float64(te.RunFrame(req).CountBusy()))
+		req.Seed = uint64(i + frames)
+		ys = append(ys, float64(be.RunFrame(req).CountBusy()))
+	}
+	if !stats.SameDistribution(xs, ys, 0.001) {
+		t.Fatalf("engine busy-count distributions differ (KS=%v)", stats.KSStatistic(xs, ys))
+	}
+}
+
+func TestTagEngineDeterministicPerSeed(t *testing.T) {
+	pop := tags.Generate(1000, tags.T1, 3)
+	e := NewTagEngine(pop, IdealRN)
+	req := FrameRequest{W: 256, K: 2, P: 0.5, Seed: 7}
+	a := e.RunFrame(req)
+	b := e.RunFrame(req)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different frames")
+		}
+	}
+	req.Seed = 8
+	c := e.RunFrame(req)
+	diff := 0
+	for i := range a {
+		if a[i] != c[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical frames")
+	}
+}
+
+func TestGeometricFrameShape(t *testing.T) {
+	// With geometric hashing and full persistence, slot 0 collects about
+	// half the tags, so low slots are busy and (for n << 2^w) high slots
+	// idle.
+	pop := tags.Generate(1000, tags.T1, 4)
+	e := NewTagEngine(pop, IdealRN)
+	b := e.RunFrame(FrameRequest{W: 32, K: 1, P: 1, Dist: Geometric, Seed: 5})
+	if !b[0] || !b[1] {
+		t.Fatal("geometric frame: low slots must be busy for n=1000")
+	}
+	if b[31] {
+		t.Fatal("geometric frame: slot 31 busy is absurd for n=1000")
+	}
+}
+
+func TestObserveTruncation(t *testing.T) {
+	pop := tags.Generate(1000, tags.T1, 6)
+	e := NewTagEngine(pop, IdealRN)
+	b := e.RunFrame(FrameRequest{W: 8192, K: 3, P: 0.5, Observe: 1024, Seed: 1})
+	if len(b) != 1024 {
+		t.Fatalf("observed %d slots, want 1024", len(b))
+	}
+}
+
+func TestFirstResponseAgainstFullFrame(t *testing.T) {
+	pop := tags.Generate(500, tags.T1, 8)
+	e := NewTagEngine(pop, IdealRN)
+	req := FrameRequest{W: 1 << 16, K: 1, P: 1, Seed: 123}
+	full := e.RunFrame(req)
+	want := full.FirstBusy()
+	if got := e.FirstResponse(req, req.W); got != want {
+		t.Fatalf("FirstResponse = %d, full frame says %d", got, want)
+	}
+	// A scan bound before the first response must return -1.
+	if want > 0 {
+		if got := e.FirstResponse(req, want); got != -1 {
+			t.Fatalf("bounded scan returned %d, want -1", got)
+		}
+	}
+}
+
+func TestFirstResponseEmptyPopulation(t *testing.T) {
+	pop := tags.Generate(0, tags.T1, 8)
+	e := NewTagEngine(pop, IdealRN)
+	if got := e.FirstResponse(FrameRequest{W: 64, K: 1, P: 1, Seed: 1}, 64); got != -1 {
+		t.Fatalf("empty population FirstResponse = %d", got)
+	}
+	be := NewBallsEngine(0, 1)
+	if got := be.FirstResponse(FrameRequest{W: 64, K: 1, P: 1, Seed: 1}, 64); got != -1 {
+		t.Fatalf("empty balls FirstResponse = %d", got)
+	}
+}
+
+func TestBallsFirstResponseDistribution(t *testing.T) {
+	// E[min of n uniforms on [0,w)] ≈ w/(n+1).
+	const n, w, trials = 100, 1 << 20, 2000
+	be := NewBallsEngine(n, 10)
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		pos := be.FirstResponse(FrameRequest{W: w, K: 1, P: 1, Seed: uint64(i)}, w)
+		if pos < 0 {
+			t.Fatal("n=100 frame cannot be empty at p=1")
+		}
+		sum += float64(pos)
+	}
+	got := sum / trials
+	want := float64(w) / float64(n+1)
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("mean first response %v, want ~%v", got, want)
+	}
+}
+
+func TestPaperXORRequiresPow2(t *testing.T) {
+	pop := tags.Generate(10, tags.T1, 2)
+	e := NewTagEngine(pop, PaperXOR)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PaperXOR with non-pow2 w did not panic")
+		}
+	}()
+	e.RunFrame(FrameRequest{W: 100, K: 1, P: 0.5, Seed: 1})
+}
+
+func TestHashModeString(t *testing.T) {
+	if IdealRN.String() != "ideal-rn" || IdealID.String() != "ideal-id" || PaperXOR.String() != "paper-xor" {
+		t.Fatal("hash mode names drifted")
+	}
+	if HashMode(9).String() != "unknown" {
+		t.Fatal("unknown mode must render")
+	}
+}

@@ -1,0 +1,60 @@
+package channel
+
+// EnergyMeter is implemented by engines that count tag transmissions. The
+// count is the tag-side energy proxy of the estimation literature (Li et
+// al.'s MLE [21] optimizes exactly this): every slot a tag responds in
+// costs it one backscatter transmission, and for battery-powered active
+// tags that is the budget that matters — a protocol can be fast for the
+// reader yet expensive for the tags, or vice versa.
+//
+// The counter is cumulative over the engine's lifetime; callers measure a
+// protocol by differencing around the run (see Reader.TagTransmissions).
+type EnergyMeter interface {
+	// TagTransmissions returns the total number of tag transmissions the
+	// engine has executed so far.
+	TagTransmissions() int
+}
+
+// TagTransmissions returns the cumulative tag-transmission count of the
+// session's engine, or -1 if the engine does not meter energy.
+func (r *Reader) TagTransmissions() int {
+	if m, ok := r.Engine.(EnergyMeter); ok {
+		return m.TagTransmissions()
+	}
+	return -1
+}
+
+// TagTransmissions implements EnergyMeter for the per-tag engine.
+func (e *TagEngine) TagTransmissions() int { return e.transmissions }
+
+// TagTransmissions implements EnergyMeter for the synthetic engine.
+func (e *BallsEngine) TagTransmissions() int { return e.transmissions }
+
+// TagTransmissions implements EnergyMeter for the noisy wrapper (noise is
+// a reader-side phenomenon; tags transmit the same either way).
+func (e *NoisyEngine) TagTransmissions() int {
+	if m, ok := e.Inner.(EnergyMeter); ok {
+		return m.TagTransmissions()
+	}
+	return -1
+}
+
+// TagTransmissions implements EnergyMeter for the multi-reader merge by
+// summing the per-reader engines. A tag covered by several readers
+// transmits once physically but is counted by every engine holding a copy
+// of it, so overlapping deployments over-count by the coverage overlap.
+func (e *MergedEngine) TagTransmissions() int {
+	total := 0
+	for _, r := range e.Readers {
+		m, ok := r.(EnergyMeter)
+		if !ok {
+			return -1
+		}
+		t := m.TagTransmissions()
+		if t < 0 {
+			return -1
+		}
+		total += t
+	}
+	return total
+}

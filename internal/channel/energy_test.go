@@ -1,0 +1,109 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"rfidest/internal/tags"
+)
+
+func TestTagEngineMetersExpectedTransmissions(t *testing.T) {
+	// E[transmissions] of one full frame = n·k·p.
+	const n, k = 10000, 3
+	const p = 0.2
+	pop := tags.Generate(n, tags.T1, 91)
+	e := NewTagEngine(pop, IdealRN)
+	const frames = 10
+	for i := 0; i < frames; i++ {
+		e.RunFrame(FrameRequest{W: 8192, K: k, P: p, Seed: uint64(i)})
+	}
+	got := float64(e.TagTransmissions()) / frames
+	want := float64(n) * k * p
+	if math.Abs(got-want) > 4*math.Sqrt(want) {
+		t.Fatalf("mean transmissions %v, want ~%v", got, want)
+	}
+}
+
+func TestTagEngineTruncatedObservationMetersLess(t *testing.T) {
+	// With Observe = w/8, only tags hashing into the prefix transmit.
+	pop := tags.Generate(20000, tags.T1, 93)
+	full := NewTagEngine(pop, IdealRN)
+	trunc := NewTagEngine(pop, IdealRN)
+	req := FrameRequest{W: 8192, K: 3, P: 0.5, Seed: 5}
+	full.RunFrame(req)
+	req.Observe = 1024
+	trunc.RunFrame(req)
+	ratio := float64(trunc.TagTransmissions()) / float64(full.TagTransmissions())
+	if math.Abs(ratio-0.125) > 0.02 {
+		t.Fatalf("truncated/full transmission ratio %v, want ~1/8", ratio)
+	}
+}
+
+func TestBallsEngineMetersExpectedTransmissions(t *testing.T) {
+	e := NewBallsEngine(10000, 95)
+	const frames, p = 10, 0.2
+	for i := 0; i < frames; i++ {
+		e.RunFrame(FrameRequest{W: 8192, K: 3, P: p, Seed: uint64(i)})
+	}
+	got := float64(e.TagTransmissions()) / frames
+	want := 10000.0 * 3 * p
+	if math.Abs(got-want) > 4*math.Sqrt(want) {
+		t.Fatalf("mean transmissions %v, want ~%v", got, want)
+	}
+}
+
+func TestFirstResponseMetersOnlyFirstSlot(t *testing.T) {
+	pop := tags.Generate(5000, tags.T1, 97)
+	e := NewTagEngine(pop, IdealRN)
+	e.FirstResponse(FrameRequest{W: 1 << 20, K: 1, P: 1, Seed: 7}, 1<<20)
+	// With W >> n the winning slot almost surely holds exactly one tag.
+	if tx := e.TagTransmissions(); tx < 1 || tx > 3 {
+		t.Fatalf("first-response transmissions = %d, want ~1", tx)
+	}
+}
+
+func TestNoisyAndMergedDelegateEnergy(t *testing.T) {
+	pop := tags.Generate(1000, tags.T1, 99)
+	inner := NewTagEngine(pop, IdealRN)
+	noisy := NewNoisyEngine(inner, 0.1, 0.1, 100)
+	noisy.RunFrame(FrameRequest{W: 512, K: 1, P: 1, Seed: 1})
+	if noisy.TagTransmissions() != inner.TagTransmissions() {
+		t.Fatal("noisy wrapper altered the energy count")
+	}
+
+	a, b := NewBallsEngine(100, 1), NewBallsEngine(100, 2)
+	merged := NewMergedEngine(200, a, b)
+	merged.RunFrame(FrameRequest{W: 64, K: 1, P: 1, Seed: 3})
+	if merged.TagTransmissions() != a.TagTransmissions()+b.TagTransmissions() {
+		t.Fatal("merged energy not the sum of readers")
+	}
+}
+
+func TestReaderEnergyAccessor(t *testing.T) {
+	pop := tags.Generate(100, tags.T1, 101)
+	r := NewReader(NewTagEngine(pop, IdealRN), 102)
+	if r.TagTransmissions() != 0 {
+		t.Fatal("fresh engine must report zero transmissions")
+	}
+	r.ExecuteFrame(FrameRequest{W: 64, K: 1, P: 1, Seed: 1})
+	if r.TagTransmissions() != 100 {
+		t.Fatalf("transmissions = %d, want 100 (all tags, p=1)", r.TagTransmissions())
+	}
+}
+
+type meterlessEngine struct{}
+
+func (meterlessEngine) RunFrame(FrameRequest) BitVec        { return BitVec{false} }
+func (meterlessEngine) FirstResponse(FrameRequest, int) int { return -1 }
+func (meterlessEngine) Size() int                           { return 0 }
+
+func TestReaderEnergyUnmetered(t *testing.T) {
+	r := NewReader(meterlessEngine{}, 1)
+	if r.TagTransmissions() != -1 {
+		t.Fatal("unmetered engine must report -1")
+	}
+	merged := NewMergedEngine(0, meterlessEngine{})
+	if merged.TagTransmissions() != -1 {
+		t.Fatal("merged over unmetered engine must report -1")
+	}
+}

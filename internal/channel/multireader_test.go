@@ -1,0 +1,142 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"rfidest/internal/tags"
+)
+
+// splitPopulation builds per-reader populations from one master set:
+// reader 0 covers tags [0, cut), reader 1 covers [overlapStart, n).
+func splitPopulation(n, cut, overlapStart int, seed uint64) (*tags.Population, *tags.Population, *tags.Population) {
+	master := tags.Generate(n, tags.T1, seed)
+	p0 := &tags.Population{Tags: master.Tags[:cut], Dist: master.Dist, Seed: seed}
+	p1 := &tags.Population{Tags: master.Tags[overlapStart:], Dist: master.Dist, Seed: seed}
+	return master, p0, p1
+}
+
+func TestMergedEngineEqualsUnionDisjoint(t *testing.T) {
+	master, p0, p1 := splitPopulation(4000, 2000, 2000, 51)
+	whole := NewTagEngine(master, IdealRN)
+	merged := NewMergedEngine(master.N(),
+		NewTagEngine(p0, IdealRN), NewTagEngine(p1, IdealRN))
+	req := FrameRequest{W: 1024, K: 3, P: 0.3, Seed: 17}
+	a := whole.RunFrame(req)
+	b := merged.RunFrame(req)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("slot %d differs between whole and merged views", i)
+		}
+	}
+}
+
+func TestMergedEngineEqualsUnionOverlapping(t *testing.T) {
+	// Readers share 1000 tags; a shared tag responds identically through
+	// both (its hash depends only on the tag), so the OR equals the union.
+	master, p0, p1 := splitPopulation(4000, 2500, 1500, 53)
+	whole := NewTagEngine(master, IdealRN)
+	merged := NewMergedEngine(master.N(),
+		NewTagEngine(p0, IdealRN), NewTagEngine(p1, IdealRN))
+	req := FrameRequest{W: 1024, K: 3, P: 0.3, Seed: 19}
+	a := whole.RunFrame(req)
+	b := merged.RunFrame(req)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("slot %d differs with overlapping coverage", i)
+		}
+	}
+}
+
+func TestMergedEngineSize(t *testing.T) {
+	m := NewMergedEngine(123, NewBallsEngine(60, 1), NewBallsEngine(63, 2))
+	if m.Size() != 123 {
+		t.Fatalf("Size = %d", m.Size())
+	}
+}
+
+func TestMergedEnginePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty reader set did not panic")
+		}
+	}()
+	NewMergedEngine(0)
+}
+
+func TestMergedEnginePanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative union did not panic")
+		}
+	}()
+	NewMergedEngine(-1, NewBallsEngine(1, 1))
+}
+
+func TestMergedFirstResponse(t *testing.T) {
+	_, p0, p1 := splitPopulation(2000, 1000, 1000, 55)
+	e0, e1 := NewTagEngine(p0, IdealRN), NewTagEngine(p1, IdealRN)
+	merged := NewMergedEngine(2000, e0, e1)
+	req := FrameRequest{W: 1 << 16, K: 1, P: 1, Seed: 23}
+	a, b := e0.FirstResponse(req, req.W), e1.FirstResponse(req, req.W)
+	want := a
+	if b >= 0 && (want < 0 || b < want) {
+		want = b
+	}
+	if got := merged.FirstResponse(req, req.W); got != want {
+		t.Fatalf("merged FirstResponse = %d, want min(%d, %d)", got, a, b)
+	}
+}
+
+func TestMergedFirstResponseEmpty(t *testing.T) {
+	merged := NewMergedEngine(0, NewBallsEngine(0, 1), NewBallsEngine(0, 2))
+	if got := merged.FirstResponse(FrameRequest{W: 64, K: 1, P: 1, Seed: 1}, 64); got != -1 {
+		t.Fatalf("empty merged FirstResponse = %d", got)
+	}
+}
+
+func TestMergedOccupancyDisjoint(t *testing.T) {
+	// Two disjoint single-tag populations colliding in the same slot must
+	// merge Single+Single into Collision; disjoint singles stay Single.
+	master, p0, p1 := splitPopulation(3000, 1500, 1500, 57)
+	whole := NewTagEngine(master, IdealRN)
+	merged := NewMergedEngine(master.N(),
+		NewTagEngine(p0, IdealRN), NewTagEngine(p1, IdealRN))
+	req := FrameRequest{W: 512, K: 1, P: 1, Seed: 29}
+	a := whole.RunFrameOccupancy(req)
+	b := merged.RunFrameOccupancy(req)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("occupancy slot %d: whole=%v merged=%v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMergeStates(t *testing.T) {
+	cases := []struct{ a, b, want SlotState }{
+		{Empty, Empty, Empty},
+		{Empty, Single, Single},
+		{Single, Empty, Single},
+		{Single, Single, Collision},
+		{Single, Collision, Collision},
+		{Collision, Collision, Collision},
+	}
+	for _, c := range cases {
+		if got := mergeStates(c.a, c.b); got != c.want {
+			t.Fatalf("mergeStates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMergedEngineBFCECompatible(t *testing.T) {
+	// An estimator over the merged view must recover the union size.
+	master, p0, p1 := splitPopulation(60000, 40000, 20000, 59)
+	merged := NewMergedEngine(master.N(),
+		NewTagEngine(p0, IdealRN), NewTagEngine(p1, IdealRN))
+	req := FrameRequest{W: 8192, K: 3, P: 0.05, Seed: 31}
+	rho := merged.RunFrame(req).RhoIdle()
+	nhat := -8192 * math.Log(rho) / (3 * 0.05)
+	if math.Abs(nhat-60000)/60000 > 0.05 {
+		t.Fatalf("union estimate from merged frame = %v, want ~60000", nhat)
+	}
+}

@@ -1,0 +1,77 @@
+package channel
+
+import "rfidest/internal/xrand"
+
+// NoisyEngine wraps an Engine with a symmetric-error channel model: each
+// observed slot is independently misread by the reader. The paper assumes
+// a perfect channel (§III-A); this wrapper powers the noise ablation that
+// probes how much that assumption carries.
+type NoisyEngine struct {
+	Inner Engine
+	// FalseBusy is the probability an idle slot is sensed busy (ambient
+	// interference).
+	FalseBusy float64
+	// FalseIdle is the probability a busy slot is sensed idle (missed
+	// backscatter).
+	FalseIdle float64
+	rng       *xrand.Rand
+}
+
+// NewNoisyEngine wraps inner with the given per-slot error rates.
+func NewNoisyEngine(inner Engine, falseBusy, falseIdle float64, seed uint64) *NoisyEngine {
+	if falseBusy < 0 || falseBusy > 1 || falseIdle < 0 || falseIdle > 1 {
+		panic("channel: error rates out of [0,1]")
+	}
+	return &NoisyEngine{
+		Inner:     inner,
+		FalseBusy: falseBusy,
+		FalseIdle: falseIdle,
+		rng:       xrand.NewStream(seed, 0x4015e),
+	}
+}
+
+// Size implements Engine.
+func (e *NoisyEngine) Size() int { return e.Inner.Size() }
+
+// RunFrame implements Engine, flipping each observed slot with the
+// configured error rates.
+func (e *NoisyEngine) RunFrame(req FrameRequest) BitVec {
+	b := e.Inner.RunFrame(req)
+	for i, busy := range b {
+		if busy {
+			if e.rng.Bernoulli(e.FalseIdle) {
+				b[i] = false
+			}
+		} else if e.rng.Bernoulli(e.FalseBusy) {
+			b[i] = true
+		}
+	}
+	return b
+}
+
+// FirstResponse implements Engine. A false-busy slot can pre-empt the true
+// first response; a false-idle can hide it (in which case the scan would in
+// reality continue — we conservatively fall through to the next true
+// response only when the inner engine can report it, i.e. never, so a
+// masked response yields the false-busy candidate or -1).
+func (e *NoisyEngine) FirstResponse(req FrameRequest, maxScan int) int {
+	if maxScan <= 0 || maxScan > req.W {
+		maxScan = req.W
+	}
+	truth := e.Inner.FirstResponse(req, maxScan)
+	limit := maxScan
+	if truth >= 0 {
+		limit = truth
+	}
+	// First false-busy among the idle prefix of length `limit`.
+	if e.FalseBusy > 0 {
+		g := e.rng.Geometric(e.FalseBusy)
+		if g < limit {
+			return g
+		}
+	}
+	if truth >= 0 && e.rng.Bernoulli(e.FalseIdle) {
+		return -1 // the true first response was missed
+	}
+	return truth
+}

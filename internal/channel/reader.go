@@ -1,0 +1,95 @@
+package channel
+
+import (
+	"rfidest/internal/timing"
+	"rfidest/internal/xrand"
+)
+
+// Reader is one estimation session: an engine (the tag population behind
+// the air interface), a clock that prices every transmission, and a seed
+// stream for the random seeds the reader broadcasts.
+//
+// Estimators drive the session through three verbs that mirror the
+// protocol's physical actions:
+//
+//	BroadcastParams — reader transmits parameter/seed bits,
+//	ExecuteFrame    — tags answer in a run of bit-slots the reader senses,
+//	ScanFirstBusy   — reader senses slots until the first reply.
+//
+// Every verb charges the clock per the timing model, so Cost() after a run
+// is the protocol's overall execution time (the paper's Fig. 10 metric).
+type Reader struct {
+	Engine  Engine
+	Profile timing.Profile
+	clock   timing.Clock
+	seeds   *xrand.Rand
+	trace   func(TraceEvent)
+}
+
+// NewReader starts a session over engine. Seeds broadcast during the
+// session derive deterministically from seed.
+func NewReader(engine Engine, seed uint64) *Reader {
+	return &Reader{
+		Engine:  engine,
+		Profile: timing.C1G2,
+		seeds:   xrand.NewStream(seed, 0x5eed),
+	}
+}
+
+// NextSeed draws the next random seed the reader will broadcast.
+func (r *Reader) NextSeed() uint64 { return r.seeds.Uint64() }
+
+// BroadcastParams charges the clock for a reader transmission of the given
+// number of bits (command, frame size, seeds, persistence numerator, ...).
+func (r *Reader) BroadcastParams(bits int) {
+	r.clock.Broadcast(bits)
+	r.emit(TraceEvent{Kind: "broadcast", Bits: bits})
+}
+
+// ExecuteFrame runs one frame on the engine and charges the clock for the
+// sensed bit-slots.
+func (r *Reader) ExecuteFrame(req FrameRequest) BitVec {
+	b := r.Engine.RunFrame(req)
+	r.clock.Listen(len(b))
+	r.emit(TraceEvent{
+		Kind: "frame", W: req.W, K: req.K, P: req.P,
+		Observe: len(b), Busy: b.CountBusy(),
+	})
+	return b
+}
+
+// ScanFirstBusy senses up to maxScan slots of the frame, stopping at the
+// first busy one. It returns the index of that slot (or -1 if the whole
+// scanned prefix was idle) and charges the clock for exactly the slots
+// sensed.
+func (r *Reader) ScanFirstBusy(req FrameRequest, maxScan int) int {
+	if maxScan <= 0 || maxScan > req.W {
+		maxScan = req.W
+	}
+	pos := r.Engine.FirstResponse(req, maxScan)
+	if pos < 0 {
+		r.clock.Listen(maxScan)
+	} else {
+		r.clock.Listen(pos + 1)
+	}
+	r.emit(TraceEvent{Kind: "scan", W: req.W, K: req.K, P: req.P, Busy: pos})
+	return pos
+}
+
+// ListenSlots charges the clock for sensing n tag bit-slots outside of a
+// full frame execution (single-slot probes, as in PET's tree walk).
+func (r *Reader) ListenSlots(n int) {
+	r.clock.Listen(n)
+	r.emit(TraceEvent{Kind: "probe-slots", Bits: n})
+}
+
+// Cost returns the communication counters accumulated so far.
+func (r *Reader) Cost() timing.Cost { return r.clock.Cost() }
+
+// Seconds returns the air time accumulated so far under the session's
+// profile.
+func (r *Reader) Seconds() float64 { return r.clock.Seconds(r.Profile) }
+
+// ResetClock clears the accumulated cost (the engine and seed stream are
+// untouched). Harnesses use it to charge repeated trials separately.
+func (r *Reader) ResetClock() { r.clock.Reset() }

@@ -1,0 +1,48 @@
+package channel
+
+import "fmt"
+
+// TraceEvent is one reader-side action of a protocol run, as recorded by
+// Reader.SetTrace. Traces document protocol structure (what exactly goes
+// over the air, in which order) and back the transcript tests that pin
+// each estimator's dialogue shape.
+type TraceEvent struct {
+	// Kind is "broadcast", "frame", "scan" or "probe-slots".
+	Kind string
+	// Bits is the reader payload for broadcasts.
+	Bits int
+	// W, K, Observe describe the frame for frame/scan events.
+	W, K, Observe int
+	// P is the frame persistence probability.
+	P float64
+	// Busy is the number of busy slots observed (frames), or the first
+	// busy position (scans; -1 for an idle scan).
+	Busy int
+}
+
+// String renders the event compactly.
+func (e TraceEvent) String() string {
+	switch e.Kind {
+	case "broadcast":
+		return fmt.Sprintf("broadcast %d bits", e.Bits)
+	case "frame":
+		return fmt.Sprintf("frame w=%d k=%d p=%.6f observe=%d busy=%d",
+			e.W, e.K, e.P, e.Observe, e.Busy)
+	case "scan":
+		return fmt.Sprintf("scan w=%d firstBusy=%d", e.W, e.Busy)
+	case "probe-slots":
+		return fmt.Sprintf("listen %d slots", e.Bits)
+	default:
+		return e.Kind
+	}
+}
+
+// SetTrace installs a callback invoked for every reader action; nil
+// disables tracing. Tracing does not affect costs or outcomes.
+func (r *Reader) SetTrace(fn func(TraceEvent)) { r.trace = fn }
+
+func (r *Reader) emit(e TraceEvent) {
+	if r.trace != nil {
+		r.trace(e)
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"rfidest/internal/channel"
+	"rfidest/internal/tags"
+)
+
+// BenchmarkOptimalPn measures the brute-force minimal-p search of §IV-D.
+func BenchmarkOptimalPn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = OptimalPn(250000, 3, 8192, 1024, 0.05, 0.05)
+	}
+}
+
+// BenchmarkGammaBounds measures the Fig. 4 grid scan (1023² points).
+func BenchmarkGammaBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = GammaBounds(3, 1024)
+	}
+}
+
+// BenchmarkEstimateTagLevel measures one full BFCE estimation over 100k
+// materialized tags.
+func BenchmarkEstimateTagLevel(b *testing.B) {
+	pop := tags.Generate(100000, tags.T1, 1)
+	est := MustNew(Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := channel.NewReader(channel.NewTagEngine(pop, channel.IdealRN), uint64(i))
+		if _, err := est.Estimate(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotUnion measures differential set algebra on two pinned
+// 8192-bit snapshots.
+func BenchmarkSnapshotUnion(b *testing.B) {
+	pop := tags.Generate(100000, tags.T1, 2)
+	d, err := NewDiffer(Config{}, 8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s1, err := d.Take(channel.NewReader(channel.NewTagEngine(pop, channel.IdealRN), 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s2, err := d.Take(channel.NewReader(channel.NewTagEngine(pop, channel.IdealRN), 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Union(s1, s2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

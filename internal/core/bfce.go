@@ -1,0 +1,275 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rfidest/internal/channel"
+	"rfidest/internal/timing"
+)
+
+// Config carries BFCE's protocol parameters. DefaultConfig returns the
+// paper's settings; zero-valued fields of a custom Config are filled with
+// the defaults by Normalize.
+type Config struct {
+	W       int     // Bloom vector length (paper: 8192)
+	K       int     // hash functions per tag (paper: 3)
+	C       float64 // rough lower-bound coefficient (paper: 0.5, range [0.1, 0.9])
+	Epsilon float64 // confidence interval ε of the (ε, δ) requirement
+	Delta   float64 // error probability δ of the (ε, δ) requirement
+	PDenom  int     // persistence-probability denominator (paper: 2^10)
+
+	InitialPn      int // probe starting numerator (paper: 2^3)
+	ProbeWindow    int // bit-slots observed per probe round (paper: 32)
+	RoughSlots     int // bit-slots observed in the rough phase (paper: 1024)
+	MaxProbeRounds int // safety bound on probe adjustments
+}
+
+// DefaultConfig returns the configuration used throughout the paper:
+// w = 8192, k = 3, c = 0.5, (ε, δ) = (0.05, 0.05), p quantized to /1024,
+// probe starting at 8/1024 over 32-slot windows, rough phase cut at 1024
+// slots.
+func DefaultConfig() Config {
+	return Config{
+		W:              8192,
+		K:              3,
+		C:              0.5,
+		Epsilon:        0.05,
+		Delta:          0.05,
+		PDenom:         1024,
+		InitialPn:      8,
+		ProbeWindow:    32,
+		RoughSlots:     1024,
+		MaxProbeRounds: 768,
+	}
+}
+
+// Normalize fills zero-valued fields with the paper defaults and validates
+// the result.
+func (c Config) Normalize() (Config, error) {
+	def := DefaultConfig()
+	if c.W == 0 {
+		c.W = def.W
+	}
+	if c.K == 0 {
+		c.K = def.K
+	}
+	if c.C == 0 {
+		c.C = def.C
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = def.Epsilon
+	}
+	if c.Delta == 0 {
+		c.Delta = def.Delta
+	}
+	if c.PDenom == 0 {
+		c.PDenom = def.PDenom
+	}
+	if c.InitialPn == 0 {
+		c.InitialPn = def.InitialPn
+	}
+	if c.ProbeWindow == 0 {
+		c.ProbeWindow = def.ProbeWindow
+	}
+	if c.RoughSlots == 0 {
+		c.RoughSlots = def.RoughSlots
+	}
+	if c.MaxProbeRounds == 0 {
+		c.MaxProbeRounds = def.MaxProbeRounds
+	}
+	switch {
+	case c.W <= 0:
+		return c, errors.New("core: W must be positive")
+	case c.K <= 0:
+		return c, errors.New("core: K must be positive")
+	case c.C <= 0 || c.C > 1:
+		return c, errors.New("core: C must be in (0, 1]")
+	case c.Epsilon <= 0 || c.Epsilon >= 1:
+		return c, errors.New("core: Epsilon must be in (0, 1)")
+	case c.Delta <= 0 || c.Delta >= 1:
+		return c, errors.New("core: Delta must be in (0, 1)")
+	case c.PDenom < 2:
+		return c, errors.New("core: PDenom must be at least 2")
+	case c.InitialPn < 1 || c.InitialPn >= c.PDenom:
+		return c, errors.New("core: InitialPn out of [1, PDenom)")
+	case c.ProbeWindow < 1 || c.ProbeWindow > c.W:
+		return c, errors.New("core: ProbeWindow out of [1, W]")
+	case c.RoughSlots < 1 || c.RoughSlots > c.W:
+		return c, errors.New("core: RoughSlots out of [1, W]")
+	case c.MaxProbeRounds < 1:
+		return c, errors.New("core: MaxProbeRounds must be positive")
+	}
+	return c, nil
+}
+
+// Result reports one BFCE estimation run.
+type Result struct {
+	Estimate   float64 // final n̂
+	Rough      float64 // n̂_r from the rough phase
+	LowerBound float64 // n̂_low = c·n̂_r
+	PsNum      int     // probe-phase persistence numerator p_s·PDenom
+	PoNum      int     // accurate-phase persistence numerator p_o·PDenom
+
+	ProbeRounds int  // probe adjustments performed
+	Feasible    bool // Theorem 3 had a feasible p_o at n̂_low
+	Saturated   bool // a phase saw an all-0s/all-1s vector and was clamped
+
+	RhoRough float64 // idle fraction observed in the rough phase
+	RhoFinal float64 // idle fraction observed in the accurate phase
+
+	Cost    timing.Cost // communication counters of the whole run
+	Seconds float64     // air time under the session profile
+}
+
+// Estimator runs the BFCE protocol over a channel session.
+type Estimator struct {
+	cfg Config
+}
+
+// New returns an Estimator for cfg (zero fields defaulted).
+func New(cfg Config) (*Estimator, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{cfg: cfg}, nil
+}
+
+// MustNew is New for configurations known to be valid; it panics otherwise.
+func MustNew(cfg Config) *Estimator {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Config returns the estimator's normalized configuration.
+func (e *Estimator) Config() Config { return e.cfg }
+
+// Name implements the estimator registry convention.
+func (e *Estimator) Name() string { return "BFCE" }
+
+// paramBits is the reader broadcast for one phase: k 32-bit seeds plus the
+// 32-bit persistence numerator. w and k are constants preloaded on tags and
+// are not transmitted at runtime (§IV-E.1).
+func (e *Estimator) paramBits() int {
+	return e.cfg.K*timing.SeedBits + timing.PnBits
+}
+
+// Estimate runs the full two-phase protocol of §IV over the session r and
+// returns the estimation result. The error is non-nil only for channel
+// misuse (nil session); degenerate observations are reported through
+// Result.Saturated/Feasible rather than failing the run, matching the
+// protocol's behaviour of always producing an estimate.
+func (e *Estimator) Estimate(r *channel.Reader) (Result, error) {
+	if r == nil {
+		return Result{}, errors.New("core: nil session")
+	}
+	cfg := e.cfg
+	var res Result
+	startCost := r.Cost()
+
+	// ---- Probe: find a valid persistence numerator p_s (§IV-C). -------
+	// The reader broadcasts the k seeds once, then re-broadcasts only the
+	// adjusted numerator each round; all probe rounds reuse the same frame
+	// seed, so raising pn monotonically adds responders.
+	probeSeed := r.NextSeed()
+	r.BroadcastParams(e.paramBits())
+	pn := cfg.InitialPn
+	for round := 0; ; round++ {
+		vec := r.ExecuteFrame(channel.FrameRequest{
+			W:       cfg.W,
+			K:       cfg.K,
+			P:       float64(pn) / float64(cfg.PDenom),
+			Observe: cfg.ProbeWindow,
+			Seed:    probeSeed,
+		})
+		busy := vec.CountBusy()
+		if busy > 0 && busy < cfg.ProbeWindow {
+			break // both idle and busy slots appeared: p_s is valid
+		}
+		if round+1 >= cfg.MaxProbeRounds {
+			break // give up; the rough phase clamps if still degenerate
+		}
+		if busy == 0 {
+			if pn >= cfg.PDenom-1 {
+				break // even the largest p draws no response
+			}
+			pn += 2
+			if pn > cfg.PDenom-1 {
+				pn = cfg.PDenom - 1
+			}
+		} else { // all busy
+			if pn <= 1 {
+				break // even the smallest p saturates the window
+			}
+			pn--
+		}
+		res.ProbeRounds++
+		r.BroadcastParams(timing.PnBits)
+	}
+	res.PsNum = pn
+
+	// ---- Rough phase: n̂_r and the lower bound n̂_low (§IV-C). ---------
+	r.BroadcastParams(e.paramBits())
+	rough := r.ExecuteFrame(channel.FrameRequest{
+		W:       cfg.W,
+		K:       cfg.K,
+		P:       float64(pn) / float64(cfg.PDenom),
+		Observe: cfg.RoughSlots,
+		Seed:    r.NextSeed(),
+	})
+	res.RhoRough, res.Saturated = clampRho(rough.RhoIdle(), cfg.RoughSlots)
+	res.Rough = EstimateFromRho(res.RhoRough, cfg.K, float64(pn)/float64(cfg.PDenom), cfg.W)
+	res.LowerBound = cfg.C * res.Rough
+	if res.LowerBound < 1 {
+		res.LowerBound = 1
+	}
+
+	// ---- Accurate phase: optimal p_o, full frame, final n̂ (§IV-D). ----
+	po, feasible := OptimalPn(res.LowerBound, cfg.K, cfg.W, cfg.PDenom, cfg.Epsilon, cfg.Delta)
+	if !feasible {
+		po = FallbackPn(res.LowerBound, cfg.K, cfg.W, cfg.PDenom)
+	}
+	res.Feasible = feasible
+	res.PoNum = po
+
+	r.BroadcastParams(e.paramBits())
+	final := r.ExecuteFrame(channel.FrameRequest{
+		W:    cfg.W,
+		K:    cfg.K,
+		P:    float64(po) / float64(cfg.PDenom),
+		Seed: r.NextSeed(),
+	})
+	rho, saturated := clampRho(final.RhoIdle(), cfg.W)
+	res.RhoFinal = rho
+	res.Saturated = res.Saturated || saturated
+	res.Estimate = EstimateFromRho(rho, cfg.K, float64(po)/float64(cfg.PDenom), cfg.W)
+
+	res.Cost = r.Cost().Sub(startCost)
+	res.Seconds = res.Cost.Seconds(r.Profile)
+	return res, nil
+}
+
+// clampRho keeps ρ̄ away from the two degenerate values 0 and 1, which make
+// Equation 3 blow up (§IV-B). A fully busy (or idle) observation of m slots
+// is indistinguishable from ρ̄ < 1/m (resp. > 1−1/m), so the clamp maps it
+// to half that resolution bound.
+func clampRho(rho float64, m int) (clamped float64, wasDegenerate bool) {
+	lo := 0.5 / float64(m)
+	if rho <= 0 {
+		return lo, true
+	}
+	if rho >= 1 {
+		return 1 - lo, true
+	}
+	return rho, false
+}
+
+// String renders the result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("n̂=%.0f (rough=%.0f low=%.0f ps=%d po=%d probes=%d feasible=%v) %s",
+		r.Estimate, r.Rough, r.LowerBound, r.PsNum, r.PoNum, r.ProbeRounds, r.Feasible, r.Cost)
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+
+	"rfidest/internal/channel"
+)
+
+// Monitor performs repeated BFCE estimations of a (possibly drifting)
+// population, warm-starting each round from the previous one. This is the
+// incremental-monitoring mode the paper's applications imply (inventory
+// surveillance runs the estimator continuously, not once):
+//
+//   - the probe phase starts from the persistence numerator the previous
+//     round settled on, instead of the cold 8/1024, so a stable population
+//     re-validates p_s in a single 32-slot window;
+//   - the optimal-p search can reuse the previous round's estimate as the
+//     rough input when the population is known to drift slowly, skipping
+//     the 1024-slot rough frame entirely (FastRounds).
+//
+// Each call still ends with the full 8192-slot accurate frame, so the
+// (ε, δ) guarantee of a round holds whenever its rough input undershoots
+// the true cardinality — the same condition as single-shot BFCE, with the
+// previous round's (1−ε)-scaled estimate playing the role of c·n̂_r.
+type Monitor struct {
+	est    *Estimator
+	lastPn int     // last valid probe numerator (0 = cold)
+	lastN  float64 // last round's final estimate (0 = cold)
+	rounds int
+
+	// FastRounds is how many consecutive rounds may skip the rough phase
+	// and derive the lower bound from the previous estimate before a full
+	// rough phase is forced again (guards against slow compounding drift).
+	// Zero disables skipping: every round runs the full protocol.
+	FastRounds int
+}
+
+// NewMonitor returns a Monitor running the given estimator configuration.
+func NewMonitor(cfg Config) (*Monitor, error) {
+	est, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{est: est}, nil
+}
+
+// Rounds returns how many estimation rounds the monitor has completed.
+func (m *Monitor) Rounds() int { return m.rounds }
+
+// Estimate runs the next monitoring round over the session.
+func (m *Monitor) Estimate(r *channel.Reader) (Result, error) {
+	if r == nil {
+		return Result{}, errors.New("core: nil session")
+	}
+	cfg := m.est.cfg
+	if m.lastPn > 0 {
+		cfg.InitialPn = m.lastPn
+	}
+
+	fast := m.FastRounds > 0 && m.lastN > 0 && m.rounds%(m.FastRounds+1) != 0
+	var res Result
+	var err error
+	if fast {
+		res, err = m.fastRound(r, cfg)
+	} else {
+		est := &Estimator{cfg: cfg}
+		res, err = est.Estimate(r)
+	}
+	if err != nil {
+		return res, err
+	}
+	m.rounds++
+	if res.PsNum > 0 {
+		m.lastPn = res.PsNum
+	}
+	m.lastN = res.Estimate
+	return res, nil
+}
+
+// fastRound runs only the accurate phase, deriving the lower bound from
+// the previous round's estimate discounted by the confidence interval
+// (and by c, to tolerate inter-round growth the same way a fresh rough
+// estimate would).
+func (m *Monitor) fastRound(r *channel.Reader, cfg Config) (Result, error) {
+	var res Result
+	startCost := r.Cost()
+	res.PsNum = m.lastPn
+	res.Rough = m.lastN
+	res.LowerBound = cfg.C * (1 - cfg.Epsilon) * m.lastN
+	if res.LowerBound < 1 {
+		res.LowerBound = 1
+	}
+
+	po, feasible := OptimalPn(res.LowerBound, cfg.K, cfg.W, cfg.PDenom, cfg.Epsilon, cfg.Delta)
+	if !feasible {
+		po = FallbackPn(res.LowerBound, cfg.K, cfg.W, cfg.PDenom)
+	}
+	res.Feasible = feasible
+	res.PoNum = po
+
+	r.BroadcastParams(cfg.K*32 + 32)
+	final := r.ExecuteFrame(channel.FrameRequest{
+		W:    cfg.W,
+		K:    cfg.K,
+		P:    float64(po) / float64(cfg.PDenom),
+		Seed: r.NextSeed(),
+	})
+	rho, saturated := clampRho(final.RhoIdle(), cfg.W)
+	res.RhoFinal = rho
+	res.Saturated = saturated
+	res.Estimate = EstimateFromRho(rho, cfg.K, float64(po)/float64(cfg.PDenom), cfg.W)
+	res.Cost = r.Cost().Sub(startCost)
+	res.Seconds = res.Cost.Seconds(r.Profile)
+	return res, nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"rfidest/internal/channel"
+	"rfidest/internal/stats"
+	"rfidest/internal/tags"
+)
+
+func TestMonitorColdRoundMatchesEstimator(t *testing.T) {
+	m, err := NewMonitor(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := tags.Generate(100000, tags.T1, 61)
+	r := channel.NewReader(channel.NewTagEngine(pop, channel.IdealRN), 62)
+	res, err := m.Estimate(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelError(res.Estimate, 100000) > 0.05 {
+		t.Fatalf("cold round estimate %v", res.Estimate)
+	}
+	if m.Rounds() != 1 {
+		t.Fatalf("rounds = %d", m.Rounds())
+	}
+}
+
+func TestMonitorWarmStartSkipsProbe(t *testing.T) {
+	m, err := NewMonitor(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First round against a large population forces probe adjustments.
+	pop := tags.Generate(2000000, tags.T1, 63)
+	r := channel.NewReader(channel.NewTagEngine(pop, channel.IdealRN), 64)
+	first, err := m.Estimate(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ProbeRounds == 0 {
+		t.Skip("population did not force probe adjustment under this seed")
+	}
+	// Second round over the same population: warm-started probe should
+	// validate immediately.
+	r2 := channel.NewReader(channel.NewTagEngine(pop, channel.IdealRN), 65)
+	second, err := m.Estimate(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ProbeRounds != 0 {
+		t.Fatalf("warm-started probe still adjusted %d times", second.ProbeRounds)
+	}
+	if stats.RelError(second.Estimate, 2000000) > 0.05 {
+		t.Fatalf("warm round estimate %v", second.Estimate)
+	}
+}
+
+func TestMonitorFastRoundsSkipRoughPhase(t *testing.T) {
+	m, err := NewMonitor(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.FastRounds = 2
+	pop := tags.Generate(150000, tags.T1, 67)
+	var costs []int
+	for round := 0; round < 3; round++ {
+		r := channel.NewReader(channel.NewTagEngine(pop, channel.IdealRN), uint64(68+round))
+		res, err := m.Estimate(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.RelError(res.Estimate, 150000) > 0.05 {
+			t.Fatalf("round %d estimate %v", round, res.Estimate)
+		}
+		costs = append(costs, res.Cost.TagSlots)
+	}
+	// Round 0 is full (probe + 1024 + 8192); rounds 1-2 are fast (8192).
+	if costs[1] != 8192 || costs[2] != 8192 {
+		t.Fatalf("fast rounds used %v slots, want 8192", costs[1:])
+	}
+	if costs[0] <= 8192 {
+		t.Fatalf("full round used only %d slots", costs[0])
+	}
+}
+
+func TestMonitorFastRoundsForcePeriodicFullRound(t *testing.T) {
+	m, err := NewMonitor(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.FastRounds = 1 // alternate full, fast, full, fast...
+	pop := tags.Generate(100000, tags.T1, 71)
+	var slots []int
+	for round := 0; round < 4; round++ {
+		r := channel.NewReader(channel.NewTagEngine(pop, channel.IdealRN), uint64(72+round))
+		res, err := m.Estimate(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, res.Cost.TagSlots)
+	}
+	if slots[0] <= 8192 || slots[2] <= 8192 {
+		t.Fatalf("full rounds missing: %v", slots)
+	}
+	if slots[1] != 8192 || slots[3] != 8192 {
+		t.Fatalf("fast rounds missing: %v", slots)
+	}
+}
+
+func TestMonitorTracksDrift(t *testing.T) {
+	m, err := NewMonitor(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.FastRounds = 3
+	// Population grows 10% per round; fast rounds must keep up because
+	// the lower bound discounts the previous estimate.
+	n := 100000
+	for round := 0; round < 6; round++ {
+		pop := tags.Generate(n, tags.T1, uint64(80+round))
+		r := channel.NewReader(channel.NewTagEngine(pop, channel.IdealRN), uint64(90+round))
+		res, err := m.Estimate(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.RelError(res.Estimate, float64(n)) > 0.06 {
+			t.Fatalf("round %d (n=%d): estimate %v", round, n, res.Estimate)
+		}
+		n = n * 110 / 100
+	}
+}
+
+func TestMonitorNilSession(t *testing.T) {
+	m, err := NewMonitor(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Estimate(nil); err == nil {
+		t.Fatal("nil session accepted")
+	}
+}
+
+func TestMonitorBadConfig(t *testing.T) {
+	if _, err := NewMonitor(Config{W: -1}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

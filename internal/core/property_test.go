@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rfidest/internal/stats"
+)
+
+// TestPropertyRhoInverse: EstimateFromRho is the exact inverse of
+// RhoExpected over the protocol's whole operating range.
+func TestPropertyRhoInverse(t *testing.T) {
+	f := func(nRaw uint32, pnRaw uint16) bool {
+		n := float64(nRaw%20_000_000) + 1
+		pn := int(pnRaw%1023) + 1
+		p := float64(pn) / 1024
+		rho := RhoExpected(n, 3, p, 8192)
+		if rho < 1e-290 { // denormal/underflow: λ too large to invert
+			return true
+		}
+		back := EstimateFromRho(rho, 3, p, 8192)
+		return math.Abs(back-n)/n < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyLambdaLinear: λ is linear in each of n, p, k and inverse in w.
+func TestPropertyLambdaLinear(t *testing.T) {
+	f := func(nRaw uint16, pnRaw uint8) bool {
+		n := float64(nRaw) + 1
+		p := (float64(pnRaw) + 1) / 1024
+		l := Lambda(n, 3, p, 8192)
+		return math.Abs(Lambda(2*n, 3, p, 8192)-2*l) < 1e-9 &&
+			math.Abs(Lambda(n, 6, p, 8192)-2*l) < 1e-9 &&
+			math.Abs(Lambda(n, 3, p, 16384)-l/2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyFeasibleMinimality: whenever OptimalPn succeeds, the returned
+// numerator is feasible and its predecessor is not.
+func TestPropertyFeasibleMinimality(t *testing.T) {
+	d := stats.D(0.05)
+	f := func(nRaw uint32) bool {
+		nLow := float64(nRaw%2_000_000) + 600
+		pn, ok := OptimalPn(nLow, 3, 8192, 1024, 0.05, 0.05)
+		if !ok {
+			return true
+		}
+		if !Feasible(nLow, 3, float64(pn)/1024, 8192, 0.05, d) {
+			return false
+		}
+		if pn == 1 {
+			return true
+		}
+		return !Feasible(nLow, 3, float64(pn-1)/1024, 8192, 0.05, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyClampRhoBounds: clampRho always lands strictly inside (0, 1)
+// and is the identity on non-degenerate inputs.
+func TestPropertyClampRhoBounds(t *testing.T) {
+	f := func(raw uint16, mRaw uint16) bool {
+		m := int(mRaw%8192) + 2
+		rho := float64(raw) / math.MaxUint16 // [0, 1]
+		got, degenerate := clampRho(rho, m)
+		if got <= 0 || got >= 1 {
+			return false
+		}
+		lo := 0.5 / float64(m)
+		if rho > lo && rho < 1-lo {
+			return !degenerate && got == rho
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyF1F2Antisymmetry: f1 < 0 < f2 for every valid operating
+// point, and both shrink toward 0 as ε shrinks.
+func TestPropertyF1F2Antisymmetry(t *testing.T) {
+	f := func(nRaw uint32, pnRaw uint8) bool {
+		n := float64(nRaw%10_000_000) + 1
+		p := (float64(pnRaw) + 1) / 1024
+		if Lambda(n, 3, p, 8192) > 30 {
+			// Saturated vectors: e^{-λ} underflows and the statistics
+			// degenerate (Feasible is false there regardless).
+			return true
+		}
+		f1 := F1(n, 3, p, 8192, 0.05)
+		f2 := F2(n, 3, p, 8192, 0.05)
+		if !(f1 < 0 && f2 > 0) {
+			return false
+		}
+		f1s := F1(n, 3, p, 8192, 0.01)
+		f2s := F2(n, 3, p, 8192, 0.01)
+		return f1s > f1 && f2s < f2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyGammaDecreasing: γ strictly decreases in both ρ and p.
+func TestPropertyGammaDecreasing(t *testing.T) {
+	f := func(a, b uint8) bool {
+		rho := (float64(a%200) + 1) / 256
+		p := (float64(b%200) + 1) / 256
+		g := Gamma(rho, p, 3)
+		return Gamma(rho+1.0/256, p, 3) < g && Gamma(rho, p+1.0/256, 3) < g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

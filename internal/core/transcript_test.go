@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"rfidest/internal/channel"
+	"rfidest/internal/tags"
+)
+
+// TestBFCETranscript pins the protocol's over-the-air dialogue: parameter
+// broadcasts and frames in the order Algorithm 1 prescribes — probe
+// window(s), 1024-slot rough frame, 8192-slot accurate frame.
+func TestBFCETranscript(t *testing.T) {
+	pop := tags.Generate(100000, tags.T1, 121)
+	r := channel.NewReader(channel.NewTagEngine(pop, channel.IdealRN), 122)
+	var events []channel.TraceEvent
+	r.SetTrace(func(e channel.TraceEvent) { events = append(events, e) })
+
+	res, err := MustNew(Config{}).Estimate(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Expected shape: broadcast, probeRounds+1 probe frames with a
+	// 32-bit numerator broadcast between each, then broadcast + rough
+	// frame, then broadcast + final frame.
+	var frames []channel.TraceEvent
+	broadcasts := 0
+	for _, e := range events {
+		switch e.Kind {
+		case "frame":
+			frames = append(frames, e)
+		case "broadcast":
+			broadcasts++
+		default:
+			t.Fatalf("unexpected event kind %q in BFCE transcript", e.Kind)
+		}
+	}
+	wantFrames := res.ProbeRounds + 1 + 2
+	if len(frames) != wantFrames {
+		t.Fatalf("transcript has %d frames, want %d", len(frames), wantFrames)
+	}
+	for i := 0; i <= res.ProbeRounds; i++ {
+		if frames[i].Observe != 32 {
+			t.Fatalf("probe frame %d observed %d slots, want 32", i, frames[i].Observe)
+		}
+	}
+	rough := frames[len(frames)-2]
+	final := frames[len(frames)-1]
+	if rough.Observe != 1024 || rough.W != 8192 {
+		t.Fatalf("rough frame: %+v", rough)
+	}
+	if final.Observe != 8192 || final.W != 8192 {
+		t.Fatalf("final frame: %+v", final)
+	}
+	if final.K != 3 {
+		t.Fatalf("final frame k = %d", final.K)
+	}
+	// Broadcasts: 3 parameter sets plus one numerator per probe round.
+	if broadcasts != 3+res.ProbeRounds {
+		t.Fatalf("transcript has %d broadcasts, want %d", broadcasts, 3+res.ProbeRounds)
+	}
+	// The final frame's persistence must be the minimal feasible p_o.
+	if want := float64(res.PoNum) / 1024; final.P != want {
+		t.Fatalf("final persistence %v, want %v", final.P, want)
+	}
+}

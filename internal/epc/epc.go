@@ -1,0 +1,201 @@
+// Package epc encodes EPCglobal Class-1 Generation-2 reader commands at
+// the bit level, including the standard's CRC-5 and CRC-16 protections.
+//
+// The inventory simulator prices commands by their exact lengths (Query 22
+// bits, QueryRep 4, QueryAdjust 9, ACK 18); this package is where those
+// lengths come from — each command is actually assembled field by field
+// per §6.3.2.12 of the air-interface spec, so the constants in
+// internal/inventory are checked against real encodings rather than
+// asserted.
+//
+//	Query       = 1000 DR M TRext Sel Session Target Q CRC-5   (22 bits)
+//	QueryRep    = 00 Session                                   (4 bits)
+//	QueryAdjust = 1001 Session UpDn                            (9 bits)
+//	ACK         = 01 RN16                                      (18 bits)
+package epc
+
+import "fmt"
+
+// Bits is a bit string, most significant bit first.
+type Bits []bool
+
+// Uint renders up to 64 bits as an integer (for tests and debugging).
+func (b Bits) Uint() uint64 {
+	if len(b) > 64 {
+		panic("epc: Bits.Uint over 64 bits")
+	}
+	v := uint64(0)
+	for _, bit := range b {
+		v <<= 1
+		if bit {
+			v |= 1
+		}
+	}
+	return v
+}
+
+// String renders the bits as 0s and 1s.
+func (b Bits) String() string {
+	out := make([]byte, len(b))
+	for i, bit := range b {
+		if bit {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}
+
+// appendUint appends the low `width` bits of v, MSB first.
+func (b Bits) appendUint(v uint64, width int) Bits {
+	for i := width - 1; i >= 0; i-- {
+		b = append(b, v>>uint(i)&1 == 1)
+	}
+	return b
+}
+
+// FromBytes converts bytes to Bits, MSB first.
+func FromBytes(data []byte) Bits {
+	b := make(Bits, 0, len(data)*8)
+	for _, by := range data {
+		b = b.appendUint(uint64(by), 8)
+	}
+	return b
+}
+
+// CRC5 computes the C1G2 CRC-5: polynomial x⁵+x³+1, preset 01001₂, no
+// reflection, no final XOR (CRC-5/EPC-C1G2).
+func CRC5(bits Bits) uint8 {
+	reg := uint8(0x09)
+	for _, bit := range bits {
+		msb := reg>>4&1 == 1
+		reg = reg << 1 & 0x1f
+		if msb != bit {
+			reg ^= 0x09
+		}
+	}
+	return reg
+}
+
+// CRC16 computes the C1G2 CRC-16: polynomial x¹⁶+x¹²+x⁵+1 (0x1021),
+// preset 0xFFFF, and the ones' complement of the register is transmitted
+// (CRC-16/GENIBUS).
+func CRC16(bits Bits) uint16 {
+	reg := uint16(0xffff)
+	for _, bit := range bits {
+		msb := reg>>15&1 == 1
+		reg <<= 1
+		if msb != bit {
+			reg ^= 0x1021
+		}
+	}
+	return ^reg
+}
+
+// Session selects one of the four C1G2 inventory sessions S0–S3.
+type Session uint8
+
+// QueryParams carries the Query command's fields.
+type QueryParams struct {
+	DR      bool    // divide ratio (TRcal divide ratio selector)
+	M       uint8   // cycles per symbol selector, 2 bits
+	TRext   bool    // pilot tone
+	Sel     uint8   // which tags respond, 2 bits
+	Session Session // inventory session, 2 bits
+	Target  bool    // inventoried flag A/B
+	Q       uint8   // frame size exponent, 4 bits
+}
+
+func (p QueryParams) validate() error {
+	switch {
+	case p.M > 3:
+		return fmt.Errorf("epc: M %d out of 2 bits", p.M)
+	case p.Sel > 3:
+		return fmt.Errorf("epc: Sel %d out of 2 bits", p.Sel)
+	case p.Session > 3:
+		return fmt.Errorf("epc: Session %d out of 2 bits", p.Session)
+	case p.Q > 15:
+		return fmt.Errorf("epc: Q %d out of 4 bits", p.Q)
+	}
+	return nil
+}
+
+func bit01(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// EncodeQuery assembles a Query command (22 bits including CRC-5).
+func EncodeQuery(p QueryParams) (Bits, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	b := Bits{}.appendUint(0b1000, 4)
+	b = b.appendUint(bit01(p.DR), 1)
+	b = b.appendUint(uint64(p.M), 2)
+	b = b.appendUint(bit01(p.TRext), 1)
+	b = b.appendUint(uint64(p.Sel), 2)
+	b = b.appendUint(uint64(p.Session), 2)
+	b = b.appendUint(bit01(p.Target), 1)
+	b = b.appendUint(uint64(p.Q), 4)
+	return b.appendUint(uint64(CRC5(b)), 5), nil
+}
+
+// EncodeQueryRep assembles a QueryRep command (4 bits).
+func EncodeQueryRep(s Session) (Bits, error) {
+	if s > 3 {
+		return nil, fmt.Errorf("epc: Session %d out of 2 bits", s)
+	}
+	return Bits{}.appendUint(0b00, 2).appendUint(uint64(s), 2), nil
+}
+
+// UpDn is QueryAdjust's Q adjustment field.
+type UpDn uint8
+
+// QueryAdjust UpDn codes (§6.3.2.12.1.2).
+const (
+	QSame UpDn = 0b000
+	QUp   UpDn = 0b110
+	QDown UpDn = 0b011
+)
+
+// EncodeQueryAdjust assembles a QueryAdjust command (9 bits).
+func EncodeQueryAdjust(s Session, updn UpDn) (Bits, error) {
+	if s > 3 {
+		return nil, fmt.Errorf("epc: Session %d out of 2 bits", s)
+	}
+	switch updn {
+	case QSame, QUp, QDown:
+	default:
+		return nil, fmt.Errorf("epc: invalid UpDn %03b", uint8(updn))
+	}
+	return Bits{}.appendUint(0b1001, 4).appendUint(uint64(s), 2).appendUint(uint64(updn), 3), nil
+}
+
+// EncodeAck assembles an ACK command (18 bits).
+func EncodeAck(rn16 uint16) Bits {
+	return Bits{}.appendUint(0b01, 2).appendUint(uint64(rn16), 16)
+}
+
+// TagReply assembles the PC + EPC + CRC-16 backscatter of an identified
+// tag (for a 96-bit EPC: 16 + 96 + 16 = 128 bits).
+func TagReply(pc uint16, epc96 [12]byte) Bits {
+	b := Bits{}.appendUint(uint64(pc), 16)
+	b = append(b, FromBytes(epc96[:])...)
+	return b.appendUint(uint64(CRC16(b)), 16)
+}
+
+// VerifyTagReply checks a received PC+EPC+CRC-16 reply. Per the standard,
+// the receiver recomputes the CRC over PC+EPC and compares it with the
+// trailing 16 bits.
+func VerifyTagReply(reply Bits) bool {
+	if len(reply) < 17 {
+		return false
+	}
+	payload := reply[:len(reply)-16]
+	got := Bits(reply[len(reply)-16:]).Uint()
+	return uint16(got) == CRC16(payload)
+}

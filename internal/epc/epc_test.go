@@ -1,0 +1,156 @@
+package epc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rfidest/internal/inventory"
+)
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/GENIBUS catalogue check value: "123456789" → 0xD64E.
+	if got := CRC16(FromBytes([]byte("123456789"))); got != 0xd64e {
+		t.Fatalf("CRC16 check = %#06x, want 0xd64e", got)
+	}
+}
+
+func TestCRC16EmptyAndSensitivity(t *testing.T) {
+	// Empty message: preset 0xFFFF complemented.
+	if got := CRC16(nil); got != 0x0000 {
+		t.Fatalf("CRC16(empty) = %#06x, want 0x0000", got)
+	}
+	a := CRC16(FromBytes([]byte{0x01}))
+	b := CRC16(FromBytes([]byte{0x02}))
+	if a == b {
+		t.Fatal("CRC16 collision on single-bit difference")
+	}
+}
+
+func TestCRC5KnownVector(t *testing.T) {
+	// CRC-5/EPC-C1G2 catalogue check value: "123456789" → 0x00.
+	if got := CRC5(FromBytes([]byte("123456789"))); got != 0x00 {
+		t.Fatalf("CRC5 check = %#02x, want 0x00", got)
+	}
+}
+
+func TestCRC5Range(t *testing.T) {
+	f := func(data []byte) bool {
+		return CRC5(FromBytes(data)) < 32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommandLengthsMatchInventoryConstants(t *testing.T) {
+	q, err := EncodeQuery(QueryParams{Q: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != inventory.QueryBits {
+		t.Fatalf("Query encodes to %d bits, inventory prices %d", len(q), inventory.QueryBits)
+	}
+	qr, err := EncodeQueryRep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr) != inventory.QueryRepBits {
+		t.Fatalf("QueryRep encodes to %d bits, inventory prices %d", len(qr), inventory.QueryRepBits)
+	}
+	qa, err := EncodeQueryAdjust(0, QUp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qa) != inventory.QueryAdjustBits {
+		t.Fatalf("QueryAdjust encodes to %d bits, inventory prices %d", len(qa), inventory.QueryAdjustBits)
+	}
+	if len(EncodeAck(0xBEEF)) != inventory.AckBits {
+		t.Fatalf("ACK encodes to %d bits, inventory prices %d", len(EncodeAck(0xBEEF)), inventory.AckBits)
+	}
+	if got := len(TagReply(0x3000, [12]byte{})); got != inventory.EPCReplyBits {
+		t.Fatalf("tag reply encodes to %d bits, inventory prices %d", got, inventory.EPCReplyBits)
+	}
+}
+
+func TestEncodeQueryFields(t *testing.T) {
+	q, err := EncodeQuery(QueryParams{DR: true, M: 2, TRext: true, Sel: 1, Session: 3, Target: true, Q: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Command code 1000, then DR=1, M=10, TRext=1, Sel=01, Session=11,
+	// Target=1, Q=1001.
+	wantPrefix := "10001101011111001"
+	if q.String()[:len(wantPrefix)] != wantPrefix {
+		t.Fatalf("Query bits = %s, want prefix %s", q, wantPrefix)
+	}
+	// The appended CRC-5 must verify: recompute over the payload.
+	payload := q[:17]
+	if CRC5(payload) != uint8(Bits(q[17:]).Uint()) {
+		t.Fatal("Query CRC-5 does not verify")
+	}
+}
+
+func TestEncodeQueryValidation(t *testing.T) {
+	bad := []QueryParams{{M: 4}, {Sel: 4}, {Session: 4}, {Q: 16}}
+	for i, p := range bad {
+		if _, err := EncodeQuery(p); err == nil {
+			t.Fatalf("bad params %d accepted", i)
+		}
+	}
+	if _, err := EncodeQueryRep(4); err == nil {
+		t.Fatal("bad session accepted")
+	}
+	if _, err := EncodeQueryAdjust(4, QUp); err == nil {
+		t.Fatal("bad session accepted")
+	}
+	if _, err := EncodeQueryAdjust(0, UpDn(0b111)); err == nil {
+		t.Fatal("bad UpDn accepted")
+	}
+}
+
+func TestAckCarriesRN16(t *testing.T) {
+	ack := EncodeAck(0xA5C3)
+	if got := Bits(ack[2:]).Uint(); got != 0xA5C3 {
+		t.Fatalf("ACK RN16 = %#x", got)
+	}
+	if ack[0] || !ack[1] {
+		t.Fatal("ACK command code wrong")
+	}
+}
+
+func TestTagReplyVerifies(t *testing.T) {
+	reply := TagReply(0x3000, [12]byte{0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4, 5, 6, 7, 8})
+	if !VerifyTagReply(reply) {
+		t.Fatal("genuine reply failed verification")
+	}
+	// Flip any single bit: verification must fail.
+	for i := range reply {
+		reply[i] = !reply[i]
+		if VerifyTagReply(reply) {
+			t.Fatalf("corrupted reply (bit %d) verified", i)
+		}
+		reply[i] = !reply[i]
+	}
+	if VerifyTagReply(nil) || VerifyTagReply(make(Bits, 10)) {
+		t.Fatal("short reply verified")
+	}
+}
+
+func TestBitsHelpers(t *testing.T) {
+	b := Bits{}.appendUint(0b1011, 4)
+	if b.Uint() != 0b1011 || b.String() != "1011" {
+		t.Fatalf("bits helpers: %v %s", b.Uint(), b)
+	}
+	if FromBytes([]byte{0x80}).String() != "10000000" {
+		t.Fatal("FromBytes MSB order wrong")
+	}
+}
+
+func TestBitsUintPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("65-bit Uint did not panic")
+		}
+	}()
+	make(Bits, 65).Uint()
+}

@@ -1,0 +1,67 @@
+package epc
+
+import "testing"
+
+// FuzzTagReplyRoundTrip: every assembled tag reply must verify, and any
+// single-bit corruption must be caught by the CRC-16.
+func FuzzTagReplyRoundTrip(f *testing.F) {
+	f.Add(uint16(0x3000), []byte("abcdefghijkl"), uint16(3))
+	f.Add(uint16(0), []byte("123456789012"), uint16(100))
+	f.Add(uint16(0xffff), []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint16(0))
+	f.Fuzz(func(t *testing.T, pc uint16, epcBytes []byte, flip uint16) {
+		var epc96 [12]byte
+		copy(epc96[:], epcBytes)
+		reply := TagReply(pc, epc96)
+		if !VerifyTagReply(reply) {
+			t.Fatalf("genuine reply failed verification (pc=%#x)", pc)
+		}
+		i := int(flip) % len(reply)
+		reply[i] = !reply[i]
+		if VerifyTagReply(reply) {
+			t.Fatalf("reply with bit %d flipped verified", i)
+		}
+	})
+}
+
+// FuzzCRCBounds: both CRCs stay in range and are deterministic for any
+// input bits.
+func FuzzCRCBounds(f *testing.F) {
+	f.Add([]byte("123456789"))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0xaa})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bits := FromBytes(data)
+		if c := CRC5(bits); c >= 32 {
+			t.Fatalf("CRC5 out of range: %d", c)
+		}
+		if CRC16(bits) != CRC16(bits) || CRC5(bits) != CRC5(bits) {
+			t.Fatal("CRC not deterministic")
+		}
+	})
+}
+
+// FuzzEncodeQuery: any valid field combination must encode to exactly 22
+// bits with a verifying CRC-5.
+func FuzzEncodeQuery(f *testing.F) {
+	f.Add(false, uint8(0), false, uint8(0), uint8(0), false, uint8(0))
+	f.Add(true, uint8(3), true, uint8(3), uint8(3), true, uint8(15))
+	f.Fuzz(func(t *testing.T, dr bool, m bool2, trext bool, sel, session bool2, target bool, q uint8) {
+		p := QueryParams{
+			DR: dr, M: m % 4, TRext: trext, Sel: sel % 4,
+			Session: Session(session % 4), Target: target, Q: q % 16,
+		}
+		bits, err := EncodeQuery(p)
+		if err != nil {
+			t.Fatalf("valid params rejected: %v", err)
+		}
+		if len(bits) != 22 {
+			t.Fatalf("Query length %d", len(bits))
+		}
+		if CRC5(bits[:17]) != uint8(Bits(bits[17:]).Uint()) {
+			t.Fatal("CRC-5 does not verify")
+		}
+	})
+}
+
+// bool2 keeps the fuzz signature compact (uint8 restricted mod 4 above).
+type bool2 = uint8

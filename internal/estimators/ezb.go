@@ -1,0 +1,101 @@
+package estimators
+
+import (
+	"errors"
+	"math"
+
+	"rfidest/internal/channel"
+	"rfidest/internal/stats"
+	"rfidest/internal/timing"
+)
+
+// EZB is the Enhanced Zero-Based estimator of Kodialam, Nandagopal and Lau
+// [18], designed for anonymous tracking: over R identically parameterized
+// frames it averages the number of zero (empty) slots and inverts
+// E[Z] = f·e^{-np/f}. Unlike UPE it never needs singleton/collision
+// discrimination, so we run it over plain bit-slot frames.
+//
+// The persistence probability is set from a rough LOF estimate so the
+// per-slot load sits at the variance-minimizing λ*; R is sized so the
+// averaged zero count meets (ε, δ).
+type EZB struct {
+	// FrameSize is the frame length (default 1024).
+	FrameSize int
+	// Rough supplies the load-setting estimate; nil uses LOF (10 rounds).
+	Rough Estimator
+	// MaxRounds caps the averaging phase (default 256).
+	MaxRounds int
+}
+
+// NewEZB returns EZB with the default frame size.
+func NewEZB() *EZB { return &EZB{} }
+
+// Name implements Estimator.
+func (e *EZB) Name() string { return "EZB" }
+
+// Estimate implements Estimator.
+func (e *EZB) Estimate(r *channel.Reader, acc Accuracy) (Result, error) {
+	if r == nil {
+		return Result{}, errors.New("estimators: nil session")
+	}
+	acc.Validate()
+	start := r.Cost()
+	f := e.FrameSize
+	if f <= 0 {
+		f = 1024
+	}
+	maxRounds := e.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 256
+	}
+
+	rough := e.Rough
+	if rough == nil {
+		rough = NewLOF()
+	}
+	roughRes, err := rough.Estimate(r, acc)
+	if err != nil {
+		return Result{}, err
+	}
+	nRough := roughRes.Estimate
+	if nRough < 1 {
+		nRough = 1
+	}
+	p := lambdaStarZOE * float64(f) / nRough
+	if p > 1 {
+		p = 1
+	}
+
+	// R frames so the pooled f·R observations meet (ε, δ) at the design
+	// load (same variance law as every zero estimator).
+	d := stats.D(acc.Delta)
+	need := d * d * (math.Exp(lambdaStarZOE) - 1) /
+		(acc.Epsilon * acc.Epsilon * lambdaStarZOE * lambdaStarZOE * float64(f))
+	rounds := int(math.Ceil(need))
+	if rounds < 1 {
+		rounds = 1
+	}
+	if rounds > maxRounds {
+		rounds = maxRounds
+	}
+
+	idle := 0
+	for i := 0; i < rounds; i++ {
+		r.BroadcastParams(timing.SeedBits + timing.PnBits)
+		vec := r.ExecuteFrame(channel.FrameRequest{
+			W: f, K: 1, P: p, Seed: r.NextSeed(),
+		})
+		idle += vec.CountIdle()
+	}
+	m := rounds * f
+	rho := clampRho(float64(idle)/float64(m), m)
+	res := Result{
+		Estimate: zeroEstimate(rho, p, f),
+		Rounds:   rounds + roughRes.Rounds,
+		Slots:    m + roughRes.Slots,
+		Guarded:  true,
+	}
+	res.Cost = r.Cost().Sub(start)
+	res.Seconds = res.Cost.Seconds(r.Profile)
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package estimators
+
+import (
+	"errors"
+	"math"
+
+	"rfidest/internal/channel"
+	"rfidest/internal/stats"
+	"rfidest/internal/timing"
+)
+
+// FNEB is the First Non-Empty Based estimator of Han et al. [20]: tags hash
+// uniformly into a large frame and the reader senses slots only until the
+// first reply. With n tags in a frame of L slots the first busy position u
+// has E[u] ≈ L/(n+1), so ū over R rounds inverts to n̂ = L/ū − 1.
+//
+// The coefficient of variation of a single round is ≈ 1 (the minimum is
+// nearly exponential), so R = ⌈(d/ε)²⌉ rounds meet (ε, δ) — FNEB's round
+// count is what makes it slow at tight accuracy. The frame size L is set
+// from a rough LOF estimate so the expected scan is a handful of slots.
+type FNEB struct {
+	// Rough supplies the frame-sizing estimate; nil uses LOF (10 rounds).
+	Rough Estimator
+	// MaxRounds caps the averaging phase (default 4096).
+	MaxRounds int
+}
+
+// NewFNEB returns FNEB with default settings.
+func NewFNEB() *FNEB { return &FNEB{} }
+
+// Name implements Estimator.
+func (f *FNEB) Name() string { return "FNEB" }
+
+// Estimate implements Estimator.
+func (f *FNEB) Estimate(r *channel.Reader, acc Accuracy) (Result, error) {
+	if r == nil {
+		return Result{}, errors.New("estimators: nil session")
+	}
+	acc.Validate()
+	start := r.Cost()
+	maxRounds := f.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 4096
+	}
+
+	rough := f.Rough
+	if rough == nil {
+		rough = NewLOF()
+	}
+	roughRes, err := rough.Estimate(r, acc)
+	if err != nil {
+		return Result{}, err
+	}
+	nRough := roughRes.Estimate
+	if nRough < 1 {
+		nRough = 1
+	}
+	// Frame large enough that the first reply lands well inside it:
+	// L ≈ 64·n̂_rough keeps P(first busy > L) negligible while the
+	// expected scan cost stays ~L/n ≈ 64 slots.
+	L := nextPow2(int(64 * nRough))
+
+	d := stats.D(acc.Delta)
+	rounds := int(math.Ceil((d / acc.Epsilon) * (d / acc.Epsilon)))
+	if rounds < 1 {
+		rounds = 1
+	}
+	if rounds > maxRounds {
+		rounds = maxRounds
+	}
+
+	sumU := 0.0
+	slots := roughRes.Slots
+	hits := 0
+	for i := 0; i < rounds; i++ {
+		r.BroadcastParams(timing.SeedBits)
+		pos := r.ScanFirstBusy(channel.FrameRequest{
+			W: L, K: 1, P: 1, Seed: r.NextSeed(),
+		}, L)
+		if pos < 0 {
+			// Idle frame (only possible for an empty population): count
+			// the full scan and record the frame bound.
+			slots += L
+			sumU += float64(L)
+			continue
+		}
+		hits++
+		slots += pos + 1
+		// Continuous-minimum correction: the minimum of n uniforms on
+		// [0, L) has mean L/(n+1); the slot index floors it, so add 1/2.
+		sumU += float64(pos) + 0.5
+	}
+	res := Result{Rounds: rounds + roughRes.Rounds, Slots: slots, Guarded: true}
+	if hits == 0 {
+		res.Estimate = 0
+	} else {
+		uBar := sumU / float64(rounds)
+		res.Estimate = float64(L)/uBar - 1
+		if res.Estimate < 0 {
+			res.Estimate = 0
+		}
+	}
+	res.Cost = r.Cost().Sub(start)
+	res.Seconds = res.Cost.Seconds(r.Profile)
+	return res, nil
+}
+
+// nextPow2 returns the smallest power of two >= v (and at least 64).
+func nextPow2(v int) int {
+	p := 64
+	for p < v {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,92 @@
+package estimators
+
+import (
+	"errors"
+	"math"
+
+	"rfidest/internal/channel"
+	"rfidest/internal/timing"
+)
+
+// LOF is the Lottery Frame estimator of Qian et al. [19]: every tag hashes
+// itself into a frame with geometrically decaying slot probabilities
+// (slot j with probability 2^{-(j+1)}), and the position R of the first
+// idle slot estimates log2(φ·n). Averaging R over multiple rounds and
+// inverting gives n̂ = 2^{R̄}/φ.
+//
+// LOF converges quickly to a constant-factor estimate but needs many rounds
+// for tight ε — which is why ZOE and SRC use it (or a sibling) only as a
+// rough first phase. The paper invokes LOF with 10 rounds as ZOE's rough
+// estimator (§V-C).
+type LOF struct {
+	// FrameSize is the lottery frame length; 32 slots express
+	// cardinalities up to ~2^32 (default 32).
+	FrameSize int
+	// Rounds is the number of averaged frames (default 10, the paper's
+	// choice for ZOE's rough phase). Accuracy.Epsilon/Delta are not used
+	// to size LOF: it is a fixed-budget rough estimator.
+	Rounds int
+}
+
+// NewLOF returns a LOF estimator with the paper's settings (32-slot frames,
+// 10 rounds).
+func NewLOF() *LOF { return &LOF{FrameSize: 32, Rounds: 10} }
+
+// Name implements Estimator.
+func (l *LOF) Name() string { return "LOF" }
+
+// Estimate implements Estimator.
+func (l *LOF) Estimate(r *channel.Reader, acc Accuracy) (Result, error) {
+	if r == nil {
+		return Result{}, errors.New("estimators: nil session")
+	}
+	start := r.Cost()
+	f := l.FrameSize
+	if f <= 0 {
+		f = 32
+	}
+	rounds := l.Rounds
+	if rounds <= 0 {
+		rounds = 10
+	}
+	sumR := 0.0
+	slots := 0
+	responded := false
+	for i := 0; i < rounds; i++ {
+		r.BroadcastParams(timing.SeedBits)
+		vec := r.ExecuteFrame(channel.FrameRequest{
+			W:    f,
+			K:    1,
+			P:    1,
+			Dist: channel.Geometric,
+			Seed: r.NextSeed(),
+		})
+		slots += f
+		first := firstIdle(vec)
+		if first > 0 {
+			responded = true
+		}
+		sumR += float64(first)
+	}
+	res := Result{Rounds: rounds, Slots: slots}
+	if !responded {
+		// Every frame had an idle slot 0: no tag answered at all.
+		res.Estimate = 0
+	} else {
+		res.Estimate = math.Exp2(sumR/float64(rounds)) / fmPhi
+	}
+	res.Cost = r.Cost().Sub(start)
+	res.Seconds = res.Cost.Seconds(r.Profile)
+	return res, nil
+}
+
+// firstIdle returns the index of the first idle slot (== the number of
+// leading busy slots); a fully busy frame reports its length.
+func firstIdle(vec channel.BitVec) int {
+	for i, busy := range vec {
+		if !busy {
+			return i
+		}
+	}
+	return len(vec)
+}

@@ -1,0 +1,145 @@
+package estimators
+
+import (
+	"errors"
+	"math"
+
+	"rfidest/internal/channel"
+	"rfidest/internal/stats"
+	"rfidest/internal/timing"
+)
+
+// MLE is the Maximum Likelihood Estimator of Li et al. [21], proposed for
+// energy-constrained active tags: tags respond with a persistence
+// probability in framed slots, and the reader maximizes the likelihood of
+// the observed idle/busy pattern over n instead of inverting a single
+// moment.
+//
+// With R frames of f slots at persistence p, each slot is idle with
+// probability q(n) = (1−p/f)^n and the log-likelihood is
+//
+//	ℓ(n) = Σ_r [idle_r·ln q(n) + (f−idle_r)·ln(1−q(n))]
+//
+// which is unimodal in n; we maximize it by golden-section search. Round
+// count is sized like the zero estimator's (the MLE is asymptotically
+// efficient, so the same Fisher-information budget applies).
+type MLE struct {
+	// FrameSize is the frame length (default 512 — smaller frames, more
+	// rounds: the protocol targets tag energy, not reader time).
+	FrameSize int
+	// Rough supplies the load-setting estimate; nil uses LOF (10 rounds).
+	Rough Estimator
+	// MaxRounds caps the measurement phase (default 512).
+	MaxRounds int
+}
+
+// NewMLE returns MLE with default settings.
+func NewMLE() *MLE { return &MLE{} }
+
+// Name implements Estimator.
+func (m *MLE) Name() string { return "MLE" }
+
+// Estimate implements Estimator.
+func (m *MLE) Estimate(r *channel.Reader, acc Accuracy) (Result, error) {
+	if r == nil {
+		return Result{}, errors.New("estimators: nil session")
+	}
+	acc.Validate()
+	start := r.Cost()
+	f := m.FrameSize
+	if f <= 0 {
+		f = 512
+	}
+	maxRounds := m.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 512
+	}
+
+	rough := m.Rough
+	if rough == nil {
+		rough = NewLOF()
+	}
+	roughRes, err := rough.Estimate(r, acc)
+	if err != nil {
+		return Result{}, err
+	}
+	nRough := roughRes.Estimate
+	if nRough < 1 {
+		nRough = 1
+	}
+	p := lambdaStarZOE * float64(f) / nRough
+	if p > 1 {
+		p = 1
+	}
+
+	d := stats.D(acc.Delta)
+	need := d * d * (math.Exp(lambdaStarZOE) - 1) /
+		(acc.Epsilon * acc.Epsilon * lambdaStarZOE * lambdaStarZOE * float64(f))
+	rounds := int(math.Ceil(need))
+	if rounds < 1 {
+		rounds = 1
+	}
+	if rounds > maxRounds {
+		rounds = maxRounds
+	}
+
+	idleTotal := 0
+	for i := 0; i < rounds; i++ {
+		r.BroadcastParams(timing.SeedBits + timing.PnBits)
+		vec := r.ExecuteFrame(channel.FrameRequest{
+			W: f, K: 1, P: p, Seed: r.NextSeed(),
+		})
+		idleTotal += vec.CountIdle()
+	}
+
+	res := Result{
+		Estimate: mleMaximize(idleTotal, rounds*f, p, f),
+		Rounds:   rounds + roughRes.Rounds,
+		Slots:    rounds*f + roughRes.Slots,
+		Guarded:  true,
+	}
+	res.Cost = r.Cost().Sub(start)
+	res.Seconds = res.Cost.Seconds(r.Profile)
+	return res, nil
+}
+
+// mleMaximize returns argmax_n ℓ(n) for idle idle slots out of total, with
+// per-slot idle probability q(n) = (1−p/f)^n. Since all frames share (p, f)
+// the sufficient statistic is the pooled idle count, and the MLE has the
+// closed form q(n̂) = idle/total ⇒ n̂ = ln(idle/total)/ln(1−p/f); the
+// golden-section search below exists to keep the estimator honest if the
+// likelihood is later extended with per-frame parameters, and to document
+// that ℓ is unimodal. It returns the closed form when the search brackets
+// degenerate.
+func mleMaximize(idle, total int, p float64, f int) float64 {
+	rho := clampRho(float64(idle)/float64(total), total)
+	lq := math.Log1p(-p / float64(f))
+	closed := math.Log(rho) / lq
+
+	ll := func(n float64) float64 {
+		q := math.Exp(n * lq)
+		q = clampRho(q, 1<<30)
+		return float64(idle)*math.Log(q) + float64(total-idle)*math.Log(1-q)
+	}
+	lo, hi := closed/4, closed*4+16
+	if lo < 0 {
+		lo = 0
+	}
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := ll(x1), ll(x2)
+	for i := 0; i < 120 && b-a > 1e-6*(1+b); i++ {
+		if f1 < f2 {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = ll(x2)
+		} else {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = ll(x1)
+		}
+	}
+	return (a + b) / 2
+}

@@ -1,0 +1,131 @@
+package estimators
+
+import (
+	"errors"
+	"math"
+
+	"rfidest/internal/channel"
+	"rfidest/internal/stats"
+	"rfidest/internal/timing"
+)
+
+// PET is the Probabilistic Estimating Tree of Zheng and Li [13]: tags hash
+// geometrically onto the leaves of a virtual binary tree and the reader
+// locates the boundary between the loaded and empty region with a binary
+// search, touching only O(log log n) slots per round instead of scanning a
+// frame.
+//
+// Per round, the reader binary-searches for the first idle position of the
+// geometric lottery pattern: each probe broadcasts the probed position and
+// senses one bit-slot. The located position F estimates log2(φ·n) exactly
+// as in LOF, but at ⌈log2 W⌉ probed slots per round. (The lottery pattern
+// is monotone only in expectation; occasional non-monotone frames add
+// variance, which the round budget absorbs — PET's tree walk has the same
+// property.) Rounds are sized from the Flajolet–Martin variance: one round
+// of first-idle position has σ(F) ≈ 1.12 bits, so σ(n̂)/n ≈ ln2·1.12 and
+// R = ⌈(1.12·ln2·d/ε)²⌉.
+type PET struct {
+	// Depth is the tree depth / lottery range (default 32, enough for
+	// cardinalities to ~2^32).
+	Depth int
+	// MaxRounds caps the averaging (default 4096).
+	MaxRounds int
+}
+
+// NewPET returns PET with default settings.
+func NewPET() *PET { return &PET{} }
+
+// Name implements Estimator.
+func (p *PET) Name() string { return "PET" }
+
+// fmSigma is the standard deviation (in bit positions) of one
+// first-idle observation of a geometric lottery pattern.
+const fmSigma = 1.12
+
+// petBinaryBias is the mean excess (in bit positions) of the
+// binary-searched first-idle position over the linear-scan position: the
+// search can jump across an early idle slot when the probed midpoint is
+// busy, so it converges to a later boundary. Calibrated by simulation over
+// n ∈ [10³, 5·10⁶] (20k frames per point: bias 0.59–0.72 bits, mean 0.67).
+const petBinaryBias = 0.673
+
+// Estimate implements Estimator.
+func (p *PET) Estimate(r *channel.Reader, acc Accuracy) (Result, error) {
+	if r == nil {
+		return Result{}, errors.New("estimators: nil session")
+	}
+	acc.Validate()
+	start := r.Cost()
+	depth := p.Depth
+	if depth <= 0 {
+		depth = 32
+	}
+	maxRounds := p.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 4096
+	}
+
+	d := stats.D(acc.Delta)
+	rel := fmSigma * math.Ln2
+	rounds := int(math.Ceil((rel * d / acc.Epsilon) * (rel * d / acc.Epsilon)))
+	if rounds < 1 {
+		rounds = 1
+	}
+	if rounds > maxRounds {
+		rounds = maxRounds
+	}
+
+	sumF := 0.0
+	slots := 0
+	responded := false
+	for i := 0; i < rounds; i++ {
+		seed := r.NextSeed()
+		// One seed broadcast arms the round; each probe then announces a
+		// position (log2(depth) bits) and senses one bit-slot.
+		r.BroadcastParams(timing.SeedBits)
+		vec := r.Engine.RunFrame(channel.FrameRequest{
+			W: depth, K: 1, P: 1, Dist: channel.Geometric, Seed: seed,
+		})
+		// Binary search for the first idle position over the materialized
+		// pattern (each probe is charged individually: PET's whole point
+		// is that only these probes ever cross the air interface).
+		lo, hi := 0, depth
+		posBits := bitsFor(depth)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			r.BroadcastParams(posBits)
+			r.ListenSlots(1)
+			slots++
+			if vec[mid] {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo > 0 {
+			responded = true
+		}
+		sumF += float64(lo)
+	}
+	res := Result{Rounds: rounds, Slots: slots, Guarded: true}
+	if !responded {
+		res.Estimate = 0
+	} else {
+		res.Estimate = math.Exp2(sumF/float64(rounds)-petBinaryBias) / fmPhi
+	}
+	res.Cost = r.Cost().Sub(start)
+	res.Seconds = res.Cost.Seconds(r.Profile)
+	return res, nil
+}
+
+// bitsFor returns the bits needed to address positions in [0, depth).
+func bitsFor(depth int) int {
+	b := 0
+	for v := depth - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}

@@ -1,0 +1,112 @@
+package estimators
+
+import (
+	"errors"
+	"math"
+
+	"rfidest/internal/channel"
+	"rfidest/internal/stats"
+	"rfidest/internal/timing"
+)
+
+// SRC is the Simple RFID Counting protocol of Chen, Zhou and Yu [15]: a
+// rough phase that brackets n within a constant factor, then a
+// balls-and-bins accurate phase whose frame size is Θ(1/ε²), repeated and
+// median-combined to drive the error probability down to δ.
+//
+// Accurate phase, per round: the reader announces a frame of l slots and a
+// persistence probability p = λ*·l/n̂_rough, tags hash uniformly into the
+// frame, and the zero estimator inverts the idle fraction. The frame is
+// sized with Chebyshev so a single round is (ε, 0.2)-accurate:
+//
+//	P(|n̂−n| > εn) ≤ Var(n̂)/(εn)² = (e^{λ*}−1)/(l·λ*²·ε²) ≤ 0.2
+//	⇒ l = ⌈(e^{λ*}−1)/(0.2·λ*²·ε²)⌉ ≈ ⌈7.72/ε²⌉.
+//
+// For δ < 0.2 the phase is repeated m times and the median taken, where m
+// is the smallest odd integer with Σ_{i=(m+1)/2}^m C(m,i)·0.8^i·0.2^{m−i}
+// ≥ 1−δ — exactly the repetition rule §V-C states.
+type SRC struct {
+	// Rough supplies the first-phase estimate; nil uses a single-round
+	// LOF (constant-factor bracketing, as in SRC's own first phase).
+	Rough Estimator
+	// MaxRounds caps the median repetition (default 99).
+	MaxRounds int
+}
+
+// NewSRC returns SRC configured as in the paper's comparison.
+func NewSRC() *SRC { return &SRC{} }
+
+// Name implements Estimator.
+func (s *SRC) Name() string { return "SRC" }
+
+// SRCFrameSize returns the accurate-phase frame length l for a confidence
+// interval ε (single-round success probability 0.8 via Chebyshev).
+func SRCFrameSize(eps float64) int {
+	l := (math.Exp(lambdaStarZOE) - 1) /
+		(0.2 * lambdaStarZOE * lambdaStarZOE * eps * eps)
+	return int(math.Ceil(l))
+}
+
+// SRCRounds returns the number of accurate-phase repetitions for δ.
+func SRCRounds(delta float64, maxRounds int) int {
+	if delta >= 0.2 {
+		return 1
+	}
+	if maxRounds <= 0 {
+		maxRounds = 99
+	}
+	return stats.MajorityRounds(0.8, delta, maxRounds)
+}
+
+// Estimate implements Estimator.
+func (s *SRC) Estimate(r *channel.Reader, acc Accuracy) (Result, error) {
+	if r == nil {
+		return Result{}, errors.New("estimators: nil session")
+	}
+	acc.Validate()
+	start := r.Cost()
+
+	rough := s.Rough
+	if rough == nil {
+		rough = &LOF{FrameSize: 32, Rounds: 1}
+	}
+	roughRes, err := rough.Estimate(r, acc)
+	if err != nil {
+		return Result{}, err
+	}
+	nRough := roughRes.Estimate
+	if nRough < 1 {
+		nRough = 1
+	}
+
+	l := SRCFrameSize(acc.Epsilon)
+	rounds := SRCRounds(acc.Delta, s.MaxRounds)
+	p := lambdaStarZOE * float64(l) / nRough
+	if p > 1 {
+		p = 1
+	}
+
+	estimates := make([]float64, 0, rounds)
+	slots := roughRes.Slots
+	for i := 0; i < rounds; i++ {
+		r.BroadcastParams(timing.SeedBits + timing.PnBits)
+		vec := r.ExecuteFrame(channel.FrameRequest{
+			W:    l,
+			K:    1,
+			P:    p,
+			Seed: r.NextSeed(),
+		})
+		slots += l
+		rho := clampRho(vec.RhoIdle(), l)
+		estimates = append(estimates, zeroEstimate(rho, p, l))
+	}
+	res := Result{
+		Estimate: stats.Median(estimates),
+		Rounds:   rounds + roughRes.Rounds,
+		Slots:    slots,
+		Guarded:  true,
+	}
+	res.Cost = r.Cost().Sub(start)
+	res.Seconds = res.Cost.Seconds(r.Profile)
+	return res, nil
+}

@@ -1,0 +1,118 @@
+package estimators
+
+import (
+	"errors"
+	"math"
+
+	"rfidest/internal/channel"
+	"rfidest/internal/stats"
+	"rfidest/internal/timing"
+)
+
+// ZOE is the Zero-One Estimator of Zheng and Li [14], as configured in the
+// paper's comparison (§V-C): a rough phase (LOF run for 10 rounds) followed
+// by m single-slot frames.
+//
+// In the accurate phase each frame is exactly one bit-slot: the reader
+// broadcasts a fresh 32-bit seed, every tag hashes (RN, seed) and responds
+// with persistence probability p = λ*/n̂_rough, and the reader senses one
+// slot. The idle fraction ρ̄ over the m slots estimates e^{-p·n}, so
+// n̂ = −ln(ρ̄)/p.
+//
+// The slot count m is ZOE's published sizing, quoted in §I of the BFCE
+// paper: the estimate meets (ε, δ) when d·σ(ρ̄) fits inside the ε-interval
+// in ρ-space, with σ(X) conservatively bounded by σ(x)max = 0.5:
+//
+//	m = ⌈( d·σ(x)max / (e^{-λ*}·(1−e^{-ε·λ*})) )²⌉,  d = √2·erfinv(1−δ)
+//
+// (the paper's expression has e^{ελ} with a sign typo; the interval edge is
+// e^{-λ}−e^{-λ(1+ε)} = e^{-λ}(1−e^{-ελ})). Because every slot carries
+// its own 32-bit seed broadcast, ZOE's execution time is dominated by
+// reader→tag traffic (m × 1510 µs) — the observation that motivates BFCE.
+type ZOE struct {
+	// Rough supplies the first-phase estimate; nil uses LOF with the
+	// paper's 10 rounds.
+	Rough Estimator
+	// MaxSlots caps the accurate phase (guards against a rough estimate
+	// so bad the formula explodes). Default 65536.
+	MaxSlots int
+}
+
+// NewZOE returns ZOE configured as in the paper's comparison.
+func NewZOE() *ZOE { return &ZOE{} }
+
+// Name implements Estimator.
+func (z *ZOE) Name() string { return "ZOE" }
+
+// lambdaStarZOE is the variance-minimizing per-slot load of the zero
+// estimator (root of λe^λ = 2(e^λ−1)).
+const lambdaStarZOE = 1.5936242600400401
+
+// ZOESlots returns the accurate-phase slot count m for an (ε, δ) target,
+// using ZOE's conservative σ(x)max = 0.5 bound at the design load λ*.
+func ZOESlots(acc Accuracy) int {
+	acc.Validate()
+	d := stats.D(acc.Delta)
+	const sigmaMax = 0.5
+	edge := math.Exp(-lambdaStarZOE) * (1 - math.Exp(-acc.Epsilon*lambdaStarZOE))
+	root := d * sigmaMax / edge
+	return int(math.Ceil(root * root))
+}
+
+// Estimate implements Estimator.
+func (z *ZOE) Estimate(r *channel.Reader, acc Accuracy) (Result, error) {
+	if r == nil {
+		return Result{}, errors.New("estimators: nil session")
+	}
+	acc.Validate()
+	start := r.Cost()
+
+	rough := z.Rough
+	if rough == nil {
+		rough = NewLOF()
+	}
+	roughRes, err := rough.Estimate(r, acc)
+	if err != nil {
+		return Result{}, err
+	}
+	nRough := roughRes.Estimate
+	if nRough < 1 {
+		nRough = 1
+	}
+
+	p := lambdaStarZOE / nRough
+	if p > 1 {
+		p = 1
+	}
+	m := ZOESlots(acc)
+	if max := z.MaxSlots; max > 0 && m > max {
+		m = max
+	} else if z.MaxSlots == 0 && m > 65536 {
+		m = 65536
+	}
+
+	idle := 0
+	for i := 0; i < m; i++ {
+		// One seed broadcast per slot — ZOE's defining (and costly) trait.
+		r.BroadcastParams(timing.SeedBits)
+		vec := r.ExecuteFrame(channel.FrameRequest{
+			W:    1,
+			K:    1,
+			P:    p,
+			Seed: r.NextSeed(),
+		})
+		if !vec[0] {
+			idle++
+		}
+	}
+	rho := clampRho(float64(idle)/float64(m), m)
+	res := Result{
+		Estimate: -math.Log(rho) / p,
+		Rounds:   1 + roughRes.Rounds,
+		Slots:    m + roughRes.Slots,
+		Guarded:  true,
+	}
+	res.Cost = r.Cost().Sub(start)
+	res.Seconds = res.Cost.Seconds(r.Profile)
+	return res, nil
+}

@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"fmt"
+
+	"rfidest/internal/channel"
+	"rfidest/internal/core"
+	"rfidest/internal/estimators"
+	"rfidest/internal/stats"
+	"rfidest/internal/tags"
+	"rfidest/internal/timing"
+)
+
+// comparisonSet builds the three protocols of the paper's comparison
+// (§V-C): BFCE, ZOE (with LOF×10 as its rough phase) and SRC.
+func comparisonSet() []estimators.Estimator {
+	return []estimators.Estimator{
+		estimators.NewBFCE(),
+		estimators.NewZOE(),
+		estimators.NewSRC(),
+	}
+}
+
+// comparisonCell runs one estimator once and returns (accuracy, seconds).
+func comparisonCell(o Options, e estimators.Estimator, n int, acc estimators.Accuracy, salt uint64) (float64, float64) {
+	r := o.session(n, tags.T2, salt)
+	res, err := e.Estimate(r, acc)
+	if err != nil {
+		panic(err) // unreachable: session is non-nil by construction
+	}
+	return stats.RelError(res.Estimate, float64(n)), res.Seconds
+}
+
+// comparisonSweep renders accuracy or time for the three protocols over the
+// paper's three sweeps (n, ε, δ) on the T2 tagID set.
+func comparisonSweep(o Options, title string, timeMetric bool) *Table {
+	t := NewTable(title,
+		"sweep", "value", "BFCE", "ZOE", "SRC")
+	pick := func(acc, sec float64) float64 {
+		if timeMetric {
+			return sec
+		}
+		return acc
+	}
+	// (a) varying n at (0.05, 0.05).
+	for _, n := range []int{50000, 100000, 200000, 500000, 1000000} {
+		row := []interface{}{"n", n}
+		for _, e := range comparisonSet() {
+			a, s := comparisonCell(o, e, n, estimators.Default, uint64(n)^0x9a)
+			row = append(row, pick(a, s))
+		}
+		t.Addf(row...)
+	}
+	// (b) varying ε at n = 500000, δ = 0.05.
+	for _, eps := range []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3} {
+		row := []interface{}{"eps", eps}
+		for _, e := range comparisonSet() {
+			a, s := comparisonCell(o, e, 500000,
+				estimators.Accuracy{Epsilon: eps, Delta: 0.05}, uint64(eps*1e4)^0x9b)
+			row = append(row, pick(a, s))
+		}
+		t.Addf(row...)
+	}
+	// (c) varying δ at n = 500000, ε = 0.05.
+	for _, delta := range []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3} {
+		row := []interface{}{"delta", delta}
+		for _, e := range comparisonSet() {
+			a, s := comparisonCell(o, e, 500000,
+				estimators.Accuracy{Epsilon: 0.05, Delta: delta}, uint64(delta*1e4)^0x9c)
+			row = append(row, pick(a, s))
+		}
+		t.Addf(row...)
+	}
+	return t
+}
+
+// Fig9 reproduces Fig. 9: estimation accuracy of BFCE vs ZOE vs SRC with
+// varying n, ε and δ on the T2 tagID set. Each cell is one run, as in the
+// paper; ZOE/SRC occasionally exceed the requirement when their rough
+// phase misfires, BFCE should not.
+func Fig9(o Options) *Table {
+	t := comparisonSweep(o, "Fig. 9 — accuracy comparison on T2 (one run per cell)", false)
+	t.Note = "cells are |n̂−n|/n; requirement is the row's eps (0.05 unless swept)"
+	return t
+}
+
+// Fig10 reproduces Fig. 10: overall execution time of BFCE vs ZOE vs SRC
+// under the same sweeps. Expected shape: BFCE constant ≈ 0.19 s; ZOE
+// seconds (dominated by per-slot seed broadcasts), ~30× BFCE on average;
+// SRC in between, ~2× BFCE at tight accuracy.
+func Fig10(o Options) *Table {
+	t := comparisonSweep(o, "Fig. 10 — execution time comparison on T2 (seconds)", true)
+	bfceTotal, zoeTotal, srcTotal := 0.0, 0.0, 0.0
+	rows := 0
+	for _, row := range t.Rows {
+		var b, z, s float64
+		fmt.Sscanf(row[2], "%g", &b)
+		fmt.Sscanf(row[3], "%g", &z)
+		fmt.Sscanf(row[4], "%g", &s)
+		bfceTotal += b
+		zoeTotal += z
+		srcTotal += s
+		rows++
+	}
+	t.Note = fmt.Sprintf("mean seconds: BFCE=%.3f ZOE=%.3f SRC=%.3f — ZOE/BFCE=%.1fx SRC/BFCE=%.1fx (paper: 30x and 2x)",
+		bfceTotal/float64(rows), zoeTotal/float64(rows), srcTotal/float64(rows),
+		zoeTotal/bfceTotal, srcTotal/bfceTotal)
+	return t
+}
+
+// Overhead reproduces the §IV-E.1 overhead analysis: the closed-form
+// temporal budget of BFCE next to the measured counters of an actual run.
+func Overhead(o Options) *Table {
+	t := NewTable("§IV-E.1 — BFCE temporal overhead: closed form vs measured",
+		"quantity", "closed form", "measured (n=500000)")
+	prof := timing.C1G2
+	budget := timing.BFCEBudgetSeconds(prof)
+
+	est := core.MustNew(core.Config{})
+	r := o.tagSession(500000, tags.T2, channel.IdealRN, 0x0e)
+	res, err := est.Estimate(r)
+	if err != nil {
+		panic(err) // unreachable: session is non-nil by construction
+	}
+	t.Addf("reader bits", 6*timing.SeedBits+2*timing.PnBits, res.Cost.ReaderBits)
+	t.Addf("tag bit-slots", 9216, res.Cost.TagSlots)
+	t.Addf("intervals", 3, res.Cost.Intervals)
+	t.Addf("seconds", budget, res.Seconds)
+	t.Note = fmt.Sprintf("probe rounds (%d, outside the paper's closed form) add %d reader bits and %d slots",
+		res.ProbeRounds, res.ProbeRounds*timing.PnBits, res.ProbeRounds*32)
+	return t
+}

@@ -1,0 +1,195 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"rfidest/internal/channel"
+	"rfidest/internal/core"
+	"rfidest/internal/stats"
+	"rfidest/internal/tags"
+)
+
+// Fig3 reproduces the feasibility study of Fig. 3: the number of 0s and 1s
+// in the Bloom vector B against the tag cardinality, for w = 8192, k = 3
+// and p ∈ {0.1, 0.2}. (Paper convention: B(i) = 1 for an idle slot.) The
+// linear relationship over the sweep is what makes the estimator workable.
+func Fig3(o Options) *Table {
+	t := NewTable("Fig. 3 — feasibility: 0s/1s in B vs n (w=8192, k=3)",
+		"n", "ones(p=0.1)", "zeros(p=0.1)", "E[ones](p=0.1)",
+		"ones(p=0.2)", "zeros(p=0.2)", "E[ones](p=0.2)")
+	const w, k = 8192, 3
+	for n := 10000; n <= 100000; n += 10000 {
+		row := []interface{}{n}
+		for _, p := range []float64{0.1, 0.2} {
+			r := o.session(n, tags.T1, uint64(n)^0xf3)
+			vec := r.ExecuteFrame(channel.FrameRequest{
+				W: w, K: k, P: p, Seed: r.NextSeed(),
+			})
+			ones := vec.CountIdle() // B(i)=1 ⟺ idle
+			expect := float64(w) * core.RhoExpected(float64(n), k, p, w)
+			row = append(row, ones, w-ones, expect)
+		}
+		t.Addf(row...)
+	}
+	return t
+}
+
+// Fig4 reproduces the scalability study of Fig. 4: γ = −ln(ρ̄)/(3p) over
+// the (p, ρ̄) grid, whose extrema bound the cardinalities expressible by a
+// w-slot vector: 0.000326·w ≤ n̂ ≤ 2365.9·w.
+func Fig4(o Options) *Table {
+	t := NewTable("Fig. 4 — γ = -ln(ρ̄)/(3p) over the (p, ρ̄) grid",
+		"p", "γ(ρ̄=0.1)", "γ(ρ̄=0.3)", "γ(ρ̄=0.5)", "γ(ρ̄=0.7)", "γ(ρ̄=0.9)")
+	rhos := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	for _, p := range []float64{1.0 / 1024, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1023.0 / 1024} {
+		row := []interface{}{fmt.Sprintf("%.6f", p)}
+		for _, rho := range rhos {
+			row = append(row, core.Gamma(rho, p, 3))
+		}
+		t.Addf(row...)
+	}
+	gmin, gmax := core.GammaBounds(3, 1024)
+	t.Note = fmt.Sprintf("grid extrema: %.6f <= γ <= %.1f (paper: 0.000326 <= γ <= 2365.9); max cardinality at w=8192: %.3g",
+		gmin, gmax, core.MaxCardinality(3, 8192, 1024))
+	return t
+}
+
+// Fig5 reproduces the monotonicity study of Fig. 5: f1 and f2 as functions
+// of n for a small persistence probability (p = 3/1024), w = 8192, k = 3,
+// ε = 0.05, with the ±d(0.05) feasibility thresholds alongside.
+func Fig5(o Options) *Table {
+	d := stats.D(0.05)
+	t := NewTable("Fig. 5 — monotonicity of f1 (dec.) and f2 (inc.) in n (p=3/1024, eps=0.05)",
+		"n", "f1", "f2", "-d", "d", "feasible")
+	const p = 3.0 / 1024
+	for n := 100000.0; n <= 1000000.0; n += 100000 {
+		f1 := core.F1(n, 3, p, 8192, 0.05)
+		f2 := core.F2(n, 3, p, 8192, 0.05)
+		t.Addf(n, f1, f2, -d, d, fmt.Sprintf("%v", f1 <= -d && f2 >= d))
+	}
+	return t
+}
+
+// Fig6 reproduces the tagID distribution study of Fig. 6: histograms of the
+// three tagID sets T1 (uniform), T2 (approximately normal) and T3 (normal)
+// over [1, 10^15].
+func Fig6(o Options) *Table {
+	t := NewTable("Fig. 6 — tagID distributions over [1, 1e15] (fraction per decile)",
+		"decile", "T1-uniform", "T2-approx-normal", "T3-normal")
+	const n = 100000
+	hs := make([]*stats.Histogram, len(tags.Distributions))
+	for i, d := range tags.Distributions {
+		pop := tags.Generate(n, d, o.Seed+uint64(i))
+		hs[i] = stats.NewHistogram(pop.IDs(), 0, float64(tags.IDSpace), 10)
+	}
+	for bin := 0; bin < 10; bin++ {
+		t.Addf(fmt.Sprintf("%d–%d%%", bin*10, (bin+1)*10),
+			hs[0].Fraction(bin), hs[1].Fraction(bin), hs[2].Fraction(bin))
+	}
+	return t
+}
+
+// bfceOnce runs one BFCE estimation at the given accuracy over a per-tag
+// session and returns the result.
+func bfceOnce(o Options, n int, dist tags.Distribution, eps, delta float64, salt uint64) core.Result {
+	est := core.MustNew(core.Config{Epsilon: eps, Delta: delta})
+	r := o.tagSession(n, dist, channel.IdealRN, salt)
+	res, err := est.Estimate(r)
+	if err != nil {
+		panic(err) // unreachable: session is non-nil by construction
+	}
+	return res
+}
+
+// Fig7a reproduces Fig. 7(a): BFCE estimation accuracy against the actual
+// cardinality n under all three tagID distributions, for the (0.05, 0.05)
+// requirement with c = 0.5. As in the paper, each point is the accuracy of
+// a single estimation round.
+func Fig7a(o Options) *Table {
+	t := NewTable("Fig. 7(a) — accuracy vs n, (eps,delta)=(0.05,0.05), c=0.5",
+		"n", "acc(T1)", "acc(T2)", "acc(T3)")
+	for _, n := range []int{1000, 2000, 5000, 10000, 20000, 50000, 100000, 200000, 500000, 1000000} {
+		row := []interface{}{n}
+		for _, d := range tags.Distributions {
+			res := bfceOnce(o, n, d, 0.05, 0.05, 0x7a)
+			row = append(row, stats.RelError(res.Estimate, float64(n)))
+		}
+		t.Addf(row...)
+	}
+	return t
+}
+
+// Fig7b reproduces Fig. 7(b): accuracy with ε varied from 0.05 to 0.3 at
+// n = 500000, δ = 0.05.
+func Fig7b(o Options) *Table {
+	t := NewTable("Fig. 7(b) — accuracy vs eps, n=500000, delta=0.05",
+		"eps", "acc(T1)", "acc(T2)", "acc(T3)")
+	for _, eps := range []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30} {
+		row := []interface{}{eps}
+		for _, d := range tags.Distributions {
+			res := bfceOnce(o, 500000, d, eps, 0.05, uint64(eps*1000))
+			row = append(row, stats.RelError(res.Estimate, 500000))
+		}
+		t.Addf(row...)
+	}
+	return t
+}
+
+// Fig7c reproduces Fig. 7(c): accuracy with δ varied from 0.05 to 0.3 at
+// n = 500000, ε = 0.05.
+func Fig7c(o Options) *Table {
+	t := NewTable("Fig. 7(c) — accuracy vs delta, n=500000, eps=0.05",
+		"delta", "acc(T1)", "acc(T2)", "acc(T3)")
+	for _, delta := range []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30} {
+		row := []interface{}{delta}
+		for _, d := range tags.Distributions {
+			res := bfceOnce(o, 500000, d, 0.05, delta, uint64(delta*1000)^0x7c)
+			row = append(row, stats.RelError(res.Estimate, 500000))
+		}
+		t.Addf(row...)
+	}
+	return t
+}
+
+// Fig8 reproduces Fig. 8: the cumulative distribution of BFCE's estimates
+// over repeated runs at n = 500000, (0.05, 0.05), under each tagID
+// distribution. The paper runs 100 rounds; Options.Trials overrides.
+func Fig8(o Options) *Table {
+	trials := o.trials(100)
+	t := NewTable(fmt.Sprintf("Fig. 8 — CDF of %d BFCE estimates, n=500000, (0.05,0.05)", trials),
+		"CDF", "n̂(T1)", "n̂(T2)", "n̂(T3)")
+	const n = 500000
+	samples := make([][]float64, len(tags.Distributions))
+	for i, d := range tags.Distributions {
+		d := d
+		samples[i] = parallelMap(trials, func(trial int) float64 {
+			return bfceOnce(o, n, d, 0.05, 0.05, uint64(0x800+trial)).Estimate
+		})
+	}
+	sorted := make([][]float64, len(samples))
+	for i, s := range samples {
+		sorted[i] = append([]float64(nil), s...)
+		sort.Float64s(sorted[i])
+	}
+	probs := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0}
+	for _, q := range probs {
+		row := []interface{}{q}
+		for i := range sorted {
+			row = append(row, stats.Quantile(sorted[i], q))
+		}
+		t.Addf(row...)
+	}
+	within := func(s []float64) float64 {
+		c := 0
+		for _, v := range s {
+			if stats.RelError(v, n) <= 0.05 {
+				c++
+			}
+		}
+		return float64(c) / float64(len(s))
+	}
+	t.Note = fmt.Sprintf("fraction within ±5%%: T1=%.2f T2=%.2f T3=%.2f (requirement: >= 0.95)",
+		within(samples[0]), within(samples[1]), within(samples[2]))
+	return t
+}

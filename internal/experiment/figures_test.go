@@ -1,0 +1,242 @@
+package experiment
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func testOpts() Options {
+	o := DefaultOptions()
+	o.Trials = 3
+	return o
+}
+
+func cellFloat(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q not a float: %v", cell, err)
+	}
+	return v
+}
+
+func TestFig3MatchesExpectation(t *testing.T) {
+	tab := Fig3(testOpts())
+	if len(tab.Rows) != 10 {
+		t.Fatalf("Fig3 rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		ones := cellFloat(t, row[1])
+		expect := cellFloat(t, row[3])
+		// One frame of 8192 slots: sd of the idle count is < 46.
+		if math.Abs(ones-expect) > 200 {
+			t.Fatalf("Fig3 measured %v far from expected %v (row %v)", ones, expect, row)
+		}
+		zeros := cellFloat(t, row[2])
+		if ones+zeros != 8192 {
+			t.Fatalf("Fig3 ones+zeros = %v", ones+zeros)
+		}
+	}
+}
+
+func TestFig3MonotoneInN(t *testing.T) {
+	tab := Fig3(testOpts())
+	// Expected idle count decreases with n.
+	prev := math.Inf(1)
+	for _, row := range tab.Rows {
+		e := cellFloat(t, row[3])
+		if e >= prev {
+			t.Fatal("Fig3 expected idle count not decreasing in n")
+		}
+		prev = e
+	}
+}
+
+func TestFig4BoundsInNote(t *testing.T) {
+	tab := Fig4(testOpts())
+	if !strings.Contains(tab.Note, "2365") {
+		t.Fatalf("Fig4 note missing the paper's gamma max: %q", tab.Note)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("Fig4 rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig5FeasibilityTransition(t *testing.T) {
+	tab := Fig5(testOpts())
+	// At p=3/1024, (0.05,0.05): infeasible at n=1e5, feasible from 2e5 on.
+	if tab.Rows[0][5] != "false" {
+		t.Fatalf("Fig5 first row should be infeasible: %v", tab.Rows[0])
+	}
+	for _, row := range tab.Rows[1:] {
+		if row[5] != "true" {
+			t.Fatalf("Fig5 row should be feasible: %v", row)
+		}
+	}
+	// Monotonicity: f1 decreasing, f2 increasing down the rows.
+	prev1, prev2 := math.Inf(1), math.Inf(-1)
+	for _, row := range tab.Rows {
+		f1, f2 := cellFloat(t, row[1]), cellFloat(t, row[2])
+		if f1 >= prev1 || f2 <= prev2 {
+			t.Fatalf("Fig5 monotonicity broken at row %v", row)
+		}
+		prev1, prev2 = f1, f2
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	tab := Fig6(testOpts())
+	if len(tab.Rows) != 10 {
+		t.Fatalf("Fig6 rows = %d", len(tab.Rows))
+	}
+	// T1 deciles ≈ 0.1 each; T2/T3 peak in the middle.
+	var t1Sum, t2Mid, t2Edge float64
+	for i, row := range tab.Rows {
+		t1Sum += cellFloat(t, row[1])
+		if i == 4 || i == 5 {
+			t2Mid += cellFloat(t, row[2])
+		}
+		if i == 0 || i == 9 {
+			t2Edge += cellFloat(t, row[2])
+		}
+	}
+	if math.Abs(t1Sum-1) > 1e-3 { // cells carry %.4g rounding
+		t.Fatalf("Fig6 T1 fractions sum to %v", t1Sum)
+	}
+	if t2Mid < 3*t2Edge {
+		t.Fatalf("Fig6 T2 not bell shaped: mid %v edge %v", t2Mid, t2Edge)
+	}
+}
+
+func TestFig7aWithinEpsilon(t *testing.T) {
+	tab := Fig7a(testOpts())
+	if len(tab.Rows) != 10 {
+		t.Fatalf("Fig7a rows = %d", len(tab.Rows))
+	}
+	violations := 0
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			if cellFloat(t, cell) > 0.05 {
+				violations++
+			}
+		}
+	}
+	// 30 single-run cells at δ=0.05: more than 3 violations is suspect.
+	if violations > 3 {
+		t.Fatalf("Fig7a epsilon violations: %d of 30", violations)
+	}
+}
+
+func TestFig7bWithinEpsilon(t *testing.T) {
+	tab := Fig7b(testOpts())
+	for _, row := range tab.Rows {
+		eps := cellFloat(t, row[0])
+		for _, cell := range row[1:] {
+			if cellFloat(t, cell) > eps {
+				t.Fatalf("Fig7b accuracy %v exceeds eps %v", cell, eps)
+			}
+		}
+	}
+}
+
+func TestFig7cWithinEpsilon(t *testing.T) {
+	tab := Fig7c(testOpts())
+	bad := 0
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			if cellFloat(t, cell) > 0.05 {
+				bad++
+			}
+		}
+	}
+	// 18 cells at δ up to 0.3: a few excursions beyond ε are permitted by
+	// the requirement itself at large δ.
+	if bad > 4 {
+		t.Fatalf("Fig7c epsilon violations: %d of 18", bad)
+	}
+}
+
+func TestFig8QuantilesBracketTruth(t *testing.T) {
+	o := testOpts()
+	o.Trials = 12
+	tab := Fig8(o)
+	if len(tab.Rows) != 12 {
+		t.Fatalf("Fig8 rows = %d", len(tab.Rows))
+	}
+	// The median row must be near 500000 for every distribution.
+	for _, row := range tab.Rows {
+		if cellFloat(t, row[0]) == 0.5 {
+			for _, cell := range row[1:] {
+				v := cellFloat(t, cell)
+				if math.Abs(v-500000)/500000 > 0.05 {
+					t.Fatalf("Fig8 median %v too far from 500000", v)
+				}
+			}
+		}
+	}
+	if !strings.Contains(tab.Note, "fraction within") {
+		t.Fatalf("Fig8 note missing coverage: %q", tab.Note)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	tab := Fig9(testOpts())
+	if len(tab.Rows) != 17 {
+		t.Fatalf("Fig9 rows = %d", len(tab.Rows))
+	}
+	// BFCE column must respect the row's requirement in every cell.
+	for _, row := range tab.Rows {
+		eps := 0.05
+		if row[0] == "eps" {
+			eps = cellFloat(t, row[1])
+		}
+		if acc := cellFloat(t, row[2]); acc > eps {
+			t.Fatalf("Fig9 BFCE accuracy %v exceeds eps %v (row %v)", acc, eps, row)
+		}
+	}
+}
+
+func TestFig10ConstantBFCEAndOrdering(t *testing.T) {
+	tab := Fig10(testOpts())
+	var bfceMin, bfceMax = math.Inf(1), math.Inf(-1)
+	for _, row := range tab.Rows {
+		b := cellFloat(t, row[2])
+		bfceMin = math.Min(bfceMin, b)
+		bfceMax = math.Max(bfceMax, b)
+	}
+	// Fig. 10's headline: BFCE's time is constant across every sweep.
+	if bfceMax-bfceMin > 0.02 {
+		t.Fatalf("BFCE time not constant: [%v, %v]", bfceMin, bfceMax)
+	}
+	if bfceMax > 0.30 {
+		t.Fatalf("BFCE time %v s, want ~0.19", bfceMax)
+	}
+	// At the tight default row, ZOE must dwarf both.
+	firstRow := tab.Rows[0]
+	z, s := cellFloat(t, firstRow[3]), cellFloat(t, firstRow[4])
+	if z < 10*bfceMax {
+		t.Fatalf("ZOE %v s not >> BFCE %v s", z, bfceMax)
+	}
+	if s < bfceMax || s > z {
+		t.Fatalf("SRC %v s not between BFCE %v and ZOE %v", s, bfceMax, z)
+	}
+	if !strings.Contains(tab.Note, "mean seconds") {
+		t.Fatalf("Fig10 note missing summary: %q", tab.Note)
+	}
+}
+
+func TestOverheadTable(t *testing.T) {
+	tab := Overhead(testOpts())
+	if len(tab.Rows) != 4 {
+		t.Fatalf("Overhead rows = %d", len(tab.Rows))
+	}
+	// Measured seconds within 25% of the closed form (probe rounds and
+	// per-phase turnaround intervals are on top of the paper's form).
+	closed := cellFloat(t, tab.Rows[3][1])
+	measured := cellFloat(t, tab.Rows[3][2])
+	if measured < closed*0.9 || measured > closed*1.25 {
+		t.Fatalf("Overhead: measured %v vs closed form %v", measured, closed)
+	}
+}

@@ -1,0 +1,97 @@
+package experiment
+
+import "testing"
+
+func TestGuaranteeBFCEHonoursContract(t *testing.T) {
+	o := DefaultOptions()
+	o.Trials = 60
+	tab := Guarantee(o)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		delta := cellFloat(t, row[1])
+		viol := cellFloat(t, row[2])
+		// Allow the binomial noise of 60 trials on top of delta.
+		slack := 3 * 0.065 // ~3·sqrt(delta(1-delta)/60) at delta=0.3
+		if viol > delta+slack {
+			t.Fatalf("BFCE violation rate %v exceeds delta %v (row %v)", viol, delta, row)
+		}
+	}
+}
+
+func TestMissingTagsExperiment(t *testing.T) {
+	tab := MissingTags(DefaultOptions())
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Coverage and identification must be monotone in the round budget.
+	prevID, prevCov := -1.0, -1.0
+	for _, row := range tab.Rows {
+		id := cellFloat(t, row[1])
+		cov := cellFloat(t, row[3])
+		if id < prevID || cov < prevCov {
+			t.Fatalf("identification not monotone in rounds: %v", tab.Rows)
+		}
+		prevID, prevCov = id, cov
+	}
+	// The largest budget must identify essentially all 400.
+	if last := cellFloat(t, tab.Rows[4][1]); last < 398 {
+		t.Fatalf("16 rounds identified only %v of 400", last)
+	}
+}
+
+func TestMonitoringExperiment(t *testing.T) {
+	tab := Monitoring(DefaultOptions())
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	fast := 0
+	for _, row := range tab.Rows {
+		if acc := cellFloat(t, row[3]); acc > 0.05 {
+			t.Fatalf("monitoring accuracy %v exceeded eps: %v", acc, row)
+		}
+		if row[4] == "8192" {
+			fast++
+		}
+	}
+	// With FastRounds=3, at least half the rounds must be warm-started.
+	if fast < 6 {
+		t.Fatalf("only %d of 12 rounds were fast", fast)
+	}
+}
+
+func TestCrossoverExperiment(t *testing.T) {
+	tab := InventoryCrossover(DefaultOptions())
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Inventory time is monotone in n, and the largest scale must show a
+	// three-orders-of-magnitude ratio.
+	prev := 0.0
+	for _, row := range tab.Rows {
+		inv := cellFloat(t, row[1])
+		if inv <= prev {
+			t.Fatalf("inventory time not increasing: %v", tab.Rows)
+		}
+		prev = inv
+	}
+	lastRatio := cellFloat(t, tab.Rows[8][3])
+	if lastRatio < 1000 {
+		t.Fatalf("inventory/BFCE at n=100k = %v, want > 1000", lastRatio)
+	}
+}
+
+func TestZOECostExperiment(t *testing.T) {
+	tab := AblationZOECost(DefaultOptions())
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		zoe := cellFloat(t, row[1])
+		batched := cellFloat(t, row[2])
+		if batched > zoe/5 {
+			t.Fatalf("batched ZOE %v not ≪ ZOE %v", batched, zoe)
+		}
+	}
+}

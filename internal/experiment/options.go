@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"rfidest/internal/channel"
+	"rfidest/internal/tags"
+	"rfidest/internal/xrand"
+)
+
+// EngineKind selects the channel fidelity an experiment runs at.
+type EngineKind int
+
+const (
+	// Synthetic (the default) samples exact frame statistics without
+	// iterating tags. The comparison sweeps (Fig. 9–10) rely on it: ZOE's
+	// thousands of per-slot frames make per-tag iteration needlessly
+	// slow, and its frame statistics are identical by construction (see
+	// channel.BallsEngine and TestEnginesAgree).
+	Synthetic EngineKind = iota
+	// TagLevel iterates real tag populations (per-tag fidelity). Figures
+	// whose claim involves tagID distributions (Fig. 6–8 and the
+	// ablations) force it through tagSession regardless of this option.
+	TagLevel
+)
+
+// String names the engine kind.
+func (k EngineKind) String() string {
+	if k == TagLevel {
+		return "tag-level"
+	}
+	return "synthetic"
+}
+
+// Options configures an experiment run.
+type Options struct {
+	// Seed pins all randomness; the same Options reproduce the same table.
+	Seed uint64
+	// Engine selects channel fidelity; figure runners that require a
+	// specific fidelity override it.
+	Engine EngineKind
+	// Trials overrides the per-point repetition count of experiments that
+	// report rates or distributions (0 keeps each figure's default).
+	Trials int
+}
+
+// DefaultOptions is used by the experiments binary and the benches.
+func DefaultOptions() Options { return Options{Seed: 0x20150701} }
+
+func (o Options) trials(def int) int {
+	if o.Trials > 0 {
+		return o.Trials
+	}
+	return def
+}
+
+// session builds a reader over a population of n tags under o.Engine. Each
+// distinct (n, dist, salt) gets independent randomness derived from o.Seed.
+func (o Options) session(n int, dist tags.Distribution, salt uint64) *channel.Reader {
+	seed := xrand.Combine(o.Seed, uint64(n), uint64(dist), salt)
+	var eng channel.Engine
+	if o.Engine == TagLevel {
+		eng = channel.NewTagEngine(tags.Generate(n, dist, seed), channel.IdealRN)
+	} else {
+		eng = channel.NewBallsEngine(n, seed)
+	}
+	return channel.NewReader(eng, seed+1)
+}
+
+// tagSession is session pinned to per-tag fidelity with a specific hash
+// mode (the hash-mode ablation and the distribution figures need it).
+func (o Options) tagSession(n int, dist tags.Distribution, mode channel.HashMode, salt uint64) *channel.Reader {
+	seed := xrand.Combine(o.Seed, uint64(n), uint64(dist), uint64(mode), salt)
+	eng := channel.NewTagEngine(tags.Generate(n, dist, seed), mode)
+	return channel.NewReader(eng, seed+1)
+}

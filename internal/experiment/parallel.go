@@ -1,0 +1,42 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMap evaluates fn(0..n-1) across GOMAXPROCS workers and returns
+// the results in index order. Trials in this package derive all their
+// randomness from their index (via xrand.Combine with the experiment
+// seed), so the output is bit-identical to a sequential loop regardless of
+// scheduling — parallelism changes wall-clock time, never results.
+func parallelMap[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestParallelMapOrderAndCompleteness(t *testing.T) {
+	got := parallelMap(100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d = %d", i, v)
+		}
+	}
+}
+
+func TestParallelMapEmpty(t *testing.T) {
+	if got := parallelMap(0, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestParallelMapSingle(t *testing.T) {
+	got := parallelMap(1, func(i int) string { return "x" })
+	if len(got) != 1 || got[0] != "x" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParallelMapMoreWorkUnitsThanCPUs(t *testing.T) {
+	n := 4*runtime.GOMAXPROCS(0) + 3
+	got := parallelMap(n, func(i int) int { return i + 1 })
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("index %d = %d", i, v)
+		}
+	}
+}
+
+func TestParallelMapMatchesSequentialFig8(t *testing.T) {
+	// Parallelism must not change results: Fig8 with the same options is
+	// bit-identical across runs (each trial is seeded by its index).
+	o := DefaultOptions()
+	o.Trials = 6
+	a := Fig8(o)
+	b := Fig8(o)
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("Fig8 not reproducible at [%d][%d]: %q vs %q",
+					i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package hash
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniform64SeedsDiffer(t *testing.T) {
+	if Uniform64(123, 1) == Uniform64(123, 2) {
+		t.Fatal("different seeds produced the same hash")
+	}
+	if Uniform64(123, 1) != Uniform64(123, 1) {
+		t.Fatal("hash is not deterministic")
+	}
+}
+
+func TestUniformSlotRange(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 7, 1024, 8192, 1000003} {
+		for x := uint64(0); x < 1000; x++ {
+			s := UniformSlot(x, 99, w)
+			if s < 0 || s >= w {
+				t.Fatalf("UniformSlot(%d, 99, %d) = %d out of range", x, w, s)
+			}
+		}
+	}
+}
+
+func TestUniformSlotPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UniformSlot(_,_,0) did not panic")
+		}
+	}()
+	UniformSlot(1, 1, 0)
+}
+
+func TestUniformSlotUniformity(t *testing.T) {
+	const w, trials = 64, 640000
+	counts := make([]int, w)
+	for x := 0; x < trials; x++ {
+		counts[UniformSlot(uint64(x), 7, w)]++
+	}
+	want := float64(trials) / w
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("slot %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestUniformSlotUniformityNonPow2(t *testing.T) {
+	const w, trials = 10, 500000
+	counts := make([]int, w)
+	for x := 0; x < trials; x++ {
+		counts[UniformSlot(uint64(x), 11, w)]++
+	}
+	want := float64(trials) / w
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("slot %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestUniformFloatRange(t *testing.T) {
+	for x := uint64(0); x < 100000; x++ {
+		f := UniformFloat(x, 3)
+		if f < 0 || f >= 1 {
+			t.Fatalf("UniformFloat out of range: %v", f)
+		}
+	}
+}
+
+func TestUniformFloatMean(t *testing.T) {
+	const trials = 200000
+	sum := 0.0
+	for x := 0; x < trials; x++ {
+		sum += UniformFloat(uint64(x), 5)
+	}
+	if mean := sum / trials; math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("UniformFloat mean = %v", mean)
+	}
+}
+
+func TestGeometricSlotDistribution(t *testing.T) {
+	const trials = 400000
+	counts := make([]int, 33)
+	for x := 0; x < trials; x++ {
+		j := GeometricSlot(uint64(x), 13, 32)
+		if j < 0 || j > 32 {
+			t.Fatalf("GeometricSlot out of range: %d", j)
+		}
+		counts[j]++
+	}
+	for j := 0; j < 10; j++ {
+		want := float64(trials) * math.Pow(0.5, float64(j+1))
+		if math.Abs(float64(counts[j])-want) > 6*math.Sqrt(want) {
+			t.Fatalf("GeometricSlot P(%d): got %d, want ~%v", j, counts[j], want)
+		}
+	}
+}
+
+func TestGeometricSlotCap(t *testing.T) {
+	for x := uint64(0); x < 100000; x++ {
+		if j := GeometricSlot(x, 1, 4); j > 4 {
+			t.Fatalf("GeometricSlot exceeded cap: %d", j)
+		}
+	}
+}
+
+func TestPaperTagHashRange(t *testing.T) {
+	f := func(rn, rs uint32) bool {
+		h := PaperTagHash(rn, rs)
+		return h >= 0 && h < 8192
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperTagHashMatchesW8192(t *testing.T) {
+	f := func(rn, rs uint32) bool {
+		return PaperTagHash(rn, rs) == PaperTagHashW(rn, rs, 8192)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperTagHashWPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PaperTagHashW(.., 100) did not panic")
+		}
+	}()
+	PaperTagHashW(1, 1, 100)
+}
+
+func TestPaperTagHashXORProperty(t *testing.T) {
+	// H(rn, rs) depends only on rn ⊕ rs: shifting both by the same mask
+	// must not change the hash.
+	f := func(rn, rs, m uint32) bool {
+		return PaperTagHash(rn^m, rs^m) == PaperTagHash(rn, rs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperTagHashUniformOverRandomRN(t *testing.T) {
+	// With uniformly random RN (as prestored on tags), the hash must be
+	// uniform over [0, 8192) regardless of the seed.
+	const trials = 819200
+	counts := make([]int, 8192)
+	rn := uint32(0x12345678)
+	for i := 0; i < trials; i++ {
+		rn = rn*1664525 + 1013904223 // LCG as a stand-in RN sequence
+		counts[PaperTagHash(rn, 0xdeadbeef)]++
+	}
+	want := float64(trials) / 8192
+	bad := 0
+	for _, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			bad++
+		}
+	}
+	if bad > 8192/100 {
+		t.Fatalf("%d of 8192 buckets deviate by >5 sigma", bad)
+	}
+}
+
+func TestPaperPersistenceProbability(t *testing.T) {
+	// Over uniform RN the corrected rule fires with probability pn/1024.
+	const trials = 400000
+	for _, pn := range []int{1, 2, 8, 512, 1024} {
+		hits := 0
+		rn := uint32(0xace1)
+		for i := 0; i < trials; i++ {
+			rn = rn*1664525 + 1013904223
+			if PaperPersistence(rn, uint(i), pn) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		want := float64(pn) / 1024
+		if want > 1 {
+			want = 1
+		}
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("PaperPersistence(pn=%d) rate %v, want %v", pn, got, want)
+		}
+	}
+}
+
+func TestPaperPersistenceLiteralBias(t *testing.T) {
+	// The literal paper text fires with probability (pn-1)/1024 — one
+	// numerator step low; at pn=1 it never responds at all.
+	const trials = 400000
+	for _, pn := range []int{1, 6, 512} {
+		hits := 0
+		rn := uint32(0xbee5)
+		for i := 0; i < trials; i++ {
+			rn = rn*1664525 + 1013904223
+			if PaperPersistenceLiteral(rn, uint(i), pn) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		want := float64(pn-1) / 1024
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("PaperPersistenceLiteral(pn=%d) rate %v, want %v", pn, got, want)
+		}
+	}
+}
+
+func BenchmarkUniformSlot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = UniformSlot(uint64(i), 7, 8192)
+	}
+}
+
+func BenchmarkPaperTagHash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = PaperTagHash(uint32(i), 0x5555aaaa)
+	}
+}

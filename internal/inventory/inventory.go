@@ -1,0 +1,194 @@
+// Package inventory simulates a full EPCglobal C1G2 tag inventory — the
+// "traditional identification protocol" the paper contrasts estimation
+// against (§III-A: exact counting is "easy and fast ... when the
+// cardinality is small"; BFCE exists because it is neither at scale).
+//
+// The simulation follows the Gen2 framed-slotted-ALOHA anticollision
+// dialogue with dynamic frame sizing (DFSA):
+//
+//   - the reader opens a frame of 2^Q slots with a Query command; every
+//     unidentified tag draws a slot counter uniformly in [0, 2^Q);
+//   - the reader steps through slots with QueryRep commands; tags at
+//     counter zero backscatter a 16-bit RN16;
+//   - a singleton slot is ACKed and the tag replies with its PC+EPC+CRC,
+//     completing one identification;
+//   - at the frame boundary the reader estimates the remaining backlog
+//     from the collision count (Schoute's estimator: backlog ≈ 2.39 ×
+//     collisions), picks the Q whose frame best matches it, and issues
+//     QueryAdjust. Inventory ends when a frame closes with no collisions
+//     (every responding tag was a singleton, so nothing remains).
+//
+// Command and reply lengths follow the C1G2 framing (Query 22 bits,
+// QueryRep 4, QueryAdjust 9, ACK 18; RN16 16 tag-bits, PC+EPC+CRC16 128
+// tag-bits for a 96-bit EPC) and are priced with the same air-interface
+// profile the estimators use, so "inventory seconds" and "estimation
+// seconds" are directly comparable — the InventoryCrossover experiment is
+// built on exactly that comparison.
+package inventory
+
+import (
+	"errors"
+	"math"
+
+	"rfidest/internal/timing"
+	"rfidest/internal/xrand"
+)
+
+// C1G2 command and reply lengths in bits.
+const (
+	QueryBits       = 22  // Query: opens an inventory round
+	QueryRepBits    = 4   // QueryRep: advance to the next slot
+	QueryAdjustBits = 9   // QueryAdjust: restart the frame with a new Q
+	AckBits         = 18  // ACK: acknowledge a singleton RN16
+	RN16Bits        = 16  // tag's slot reply
+	EPCReplyBits    = 128 // PC (16) + EPC (96) + CRC-16: the identification
+)
+
+// Config parameterizes the inventory simulation.
+type Config struct {
+	// InitialQ is the Q the first Query announces (Gen2 default 4).
+	InitialQ int
+	// BacklogFactor converts a frame's collision count into a backlog
+	// estimate for the next frame (Schoute's 2.39 by default).
+	BacklogFactor float64
+	// MaxCommands bounds the dialogue against pathological settings
+	// (default 50 million commands).
+	MaxCommands int
+}
+
+// DefaultConfig returns the Gen2-typical settings.
+func DefaultConfig() Config {
+	return Config{InitialQ: 4, BacklogFactor: 2.39, MaxCommands: 50_000_000}
+}
+
+func (c Config) normalize() (Config, error) {
+	def := DefaultConfig()
+	if c.InitialQ == 0 {
+		c.InitialQ = def.InitialQ
+	}
+	if c.BacklogFactor == 0 {
+		c.BacklogFactor = def.BacklogFactor
+	}
+	if c.MaxCommands == 0 {
+		c.MaxCommands = def.MaxCommands
+	}
+	switch {
+	case c.InitialQ < 0 || c.InitialQ > 15:
+		return c, errors.New("inventory: InitialQ out of [0, 15]")
+	case c.BacklogFactor < 1 || c.BacklogFactor > 10:
+		return c, errors.New("inventory: BacklogFactor out of [1, 10]")
+	case c.MaxCommands < 1:
+		return c, errors.New("inventory: MaxCommands must be positive")
+	}
+	return c, nil
+}
+
+// Result summarizes one full inventory.
+type Result struct {
+	Identified int         // tags read (== n unless the command cap hit)
+	Slots      int         // ALOHA slots walked
+	Collisions int         // collision slots observed
+	Empties    int         // empty slots observed
+	Rounds     int         // Query/QueryAdjust frames opened
+	Complete   bool        // every tag was identified
+	Cost       timing.Cost // full dialogue cost
+	Seconds    float64     // priced under C1G2
+}
+
+// Run inventories a population of n tags and returns the dialogue
+// statistics. The simulation is deterministic given seed.
+func Run(n int, cfg Config, seed uint64) (Result, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	if n < 0 {
+		return Result{}, errors.New("inventory: negative population")
+	}
+	rng := xrand.NewStream(seed, 0x1417)
+	var clock timing.Clock
+	var res Result
+
+	remaining := n
+	q := cfg.InitialQ
+	commands := 0
+	first := true
+	for remaining > 0 && commands < cfg.MaxCommands {
+		frame := frameOccupancy(rng, remaining, 1<<uint(q))
+		if first {
+			clock.Broadcast(QueryBits)
+			first = false
+		} else {
+			clock.Broadcast(QueryAdjustBits)
+		}
+		commands++
+		res.Rounds++
+
+		collisions := 0
+		for _, occ := range frame {
+			res.Slots++
+			switch {
+			case occ == 0:
+				res.Empties++
+			case occ == 1:
+				// RN16 → ACK → EPC reply.
+				clock.Listen(RN16Bits)
+				clock.Broadcast(AckBits)
+				clock.Listen(EPCReplyBits)
+				commands += 2
+				remaining--
+				res.Identified++
+			default:
+				collisions++
+				clock.Listen(RN16Bits) // the collided RN16s still burn air time
+				commands++
+			}
+			// Advance to the next slot.
+			clock.Broadcast(QueryRepBits)
+			commands++
+			if commands >= cfg.MaxCommands {
+				break
+			}
+		}
+		res.Collisions += collisions
+		// Schoute backlog → next Q. A collision-free frame means every
+		// participant was identified; the remaining>0 loop condition
+		// cannot hold then, but guard q anyway.
+		q = qForBacklog(cfg.BacklogFactor * float64(collisions))
+	}
+
+	res.Complete = remaining == 0
+	res.Cost = clock.Cost()
+	res.Seconds = clock.Seconds(timing.C1G2)
+	return res, nil
+}
+
+// qForBacklog returns the Q whose frame size 2^Q best matches the backlog
+// estimate, clamped to [0, 15].
+func qForBacklog(backlog float64) int {
+	if backlog < 1 {
+		return 0
+	}
+	q := int(math.Round(math.Log2(backlog)))
+	if q < 0 {
+		return 0
+	}
+	if q > 15 {
+		return 15
+	}
+	return q
+}
+
+// frameOccupancy samples the multinomial occupancy of `tags` tags over
+// `slots` slots via sequential binomial splitting (exact, O(slots)).
+func frameOccupancy(rng *xrand.Rand, tags, slots int) []int {
+	occ := make([]int, slots)
+	remaining := tags
+	for i := 0; i < slots-1 && remaining > 0; i++ {
+		c := rng.Binomial(remaining, 1/float64(slots-i))
+		occ[i] = c
+		remaining -= c
+	}
+	occ[slots-1] += remaining
+	return occ
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the two-sample Kolmogorov–Smirnov statistic — the
+// maximum vertical distance between the empirical CDFs of xs and ys. The
+// channel tests use it to verify that the per-tag engine and the synthetic
+// engine sample the same frame-statistic distributions, which is a far
+// stronger check than comparing means.
+func KSStatistic(xs, ys []float64) float64 {
+	if len(xs) == 0 || len(ys) == 0 {
+		return 1
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	i, j := 0, 0
+	d := 0.0
+	for i < len(a) && j < len(b) {
+		var v float64
+		if a[i] <= b[j] {
+			v = a[i]
+		} else {
+			v = b[j]
+		}
+		for i < len(a) && a[i] <= v {
+			i++
+		}
+		for j < len(b) && b[j] <= v {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b)))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSPValue returns the asymptotic p-value of the two-sample KS statistic d
+// for sample sizes n and m (Kolmogorov distribution tail,
+// Q(λ) = 2·Σ (−1)^{k−1} e^{−2k²λ²}). Small p-values reject the hypothesis
+// that both samples come from the same distribution.
+func KSPValue(d float64, n, m int) float64 {
+	if n == 0 || m == 0 {
+		return 0
+	}
+	ne := float64(n) * float64(m) / float64(n+m)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	for k := 1; k <= 100; k++ {
+		term := math.Exp(-2 * float64(k*k) * lambda * lambda)
+		if k%2 == 1 {
+			sum += term
+		} else {
+			sum -= term
+		}
+		if term < 1e-12 {
+			break
+		}
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// SameDistribution reports whether the two samples are consistent with one
+// underlying distribution at the given significance level (it fails to
+// reject the KS test).
+func SameDistribution(xs, ys []float64, alpha float64) bool {
+	return KSPValue(KSStatistic(xs, ys), len(xs), len(ys)) >= alpha
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"rfidest/internal/xrand"
+)
+
+func TestKSStatisticIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if d := KSStatistic(xs, xs); d != 0 {
+		t.Fatalf("identical samples KS = %v", d)
+	}
+}
+
+func TestKSStatisticDisjointSamples(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{10, 11, 12}
+	if d := KSStatistic(xs, ys); d != 1 {
+		t.Fatalf("disjoint samples KS = %v", d)
+	}
+}
+
+func TestKSStatisticEmpty(t *testing.T) {
+	if KSStatistic(nil, []float64{1}) != 1 {
+		t.Fatal("empty sample must give KS = 1")
+	}
+}
+
+func TestKSStatisticKnownValue(t *testing.T) {
+	// xs = {1,2,3,4}, ys = {2.5, 3.5}: CDF gap peaks at 0.5 (just below
+	// 2.5: F_x = 0.5, F_y = 0).
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2.5, 3.5}
+	if d := KSStatistic(xs, ys); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("KS = %v, want 0.5", d)
+	}
+}
+
+func TestKSSameDistributionAccepts(t *testing.T) {
+	rng := xrand.New(41)
+	xs := make([]float64, 2000)
+	ys := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.Norm()
+		ys[i] = rng.Norm()
+	}
+	if !SameDistribution(xs, ys, 0.001) {
+		t.Fatal("two normal samples rejected")
+	}
+}
+
+func TestKSSameDistributionRejects(t *testing.T) {
+	rng := xrand.New(43)
+	xs := make([]float64, 2000)
+	ys := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.Norm()
+		ys[i] = rng.Norm() + 0.5 // shifted
+	}
+	if SameDistribution(xs, ys, 0.001) {
+		t.Fatal("shifted samples accepted")
+	}
+}
+
+func TestKSPValueMonotone(t *testing.T) {
+	prev := 1.0
+	for d := 0.0; d <= 1.0; d += 0.05 {
+		p := KSPValue(d, 500, 500)
+		if p > prev+1e-12 {
+			t.Fatalf("p-value not monotone at d=%v", d)
+		}
+		prev = p
+	}
+	if KSPValue(0.5, 0, 10) != 0 {
+		t.Fatal("empty sample p-value must be 0")
+	}
+}

@@ -1,0 +1,132 @@
+// Package workload generates dynamic tag-population timelines for
+// monitoring experiments: sequences of rounds in which tags arrive and
+// depart, expressed as sliding windows over a shared tag universe so that
+// consecutive rounds genuinely share the tags that did not move (which is
+// what differential estimation and warm-started monitoring exploit).
+//
+// A Round's population is the window [Start, Start+N) of the universe;
+// between rounds, Start advancing models departures (the oldest stock
+// ships first) and the window's far end advancing models arrivals.
+package workload
+
+import (
+	"errors"
+
+	"rfidest/internal/xrand"
+)
+
+// Round is one monitoring round's population, as a window over the
+// universe.
+type Round struct {
+	Start int // first universe index present
+	N     int // population size
+}
+
+// End returns one past the last universe index present.
+func (r Round) End() int { return r.Start + r.N }
+
+// Timeline is a sequence of rounds over one universe.
+type Timeline struct {
+	UniverseSeed uint64
+	Rounds       []Round
+}
+
+// Departures returns how many tags left between rounds i-1 and i.
+func (t *Timeline) Departures(i int) int {
+	if i <= 0 || i >= len(t.Rounds) {
+		return 0
+	}
+	return t.Rounds[i].Start - t.Rounds[i-1].Start
+}
+
+// Arrivals returns how many tags arrived between rounds i-1 and i.
+func (t *Timeline) Arrivals(i int) int {
+	if i <= 0 || i >= len(t.Rounds) {
+		return 0
+	}
+	return t.Rounds[i].End() - t.Rounds[i-1].End()
+}
+
+// Drift generates a timeline in which, each round, a Binomial(N,
+// departRate) batch departs and a Binomial(N, arriveRate) batch arrives.
+// With arriveRate == departRate the size performs a mean-preserving random
+// walk; unequal rates trend it. Rates must lie in [0, 1); n0 and rounds
+// must be positive.
+func Drift(rounds, n0 int, arriveRate, departRate float64, seed uint64) (*Timeline, error) {
+	if rounds <= 0 || n0 <= 0 {
+		return nil, errors.New("workload: rounds and n0 must be positive")
+	}
+	if arriveRate < 0 || arriveRate >= 1 || departRate < 0 || departRate >= 1 {
+		return nil, errors.New("workload: rates must be in [0, 1)")
+	}
+	rng := xrand.NewStream(seed, 0xd21f7)
+	t := &Timeline{UniverseSeed: seed}
+	cur := Round{Start: 0, N: n0}
+	t.Rounds = append(t.Rounds, cur)
+	for i := 1; i < rounds; i++ {
+		departs := rng.Binomial(cur.N, departRate)
+		arrives := rng.Binomial(cur.N, arriveRate)
+		cur = Round{Start: cur.Start + departs, N: cur.N - departs + arrives}
+		if cur.N < 1 {
+			cur.N = 1
+		}
+		t.Rounds = append(t.Rounds, cur)
+	}
+	return t, nil
+}
+
+// Burst generates a steady timeline with one bulk departure: at round
+// burstAt, a fraction burstFrac of the stock ships at once (the
+// unreported-shipment scenario a monitor must catch).
+func Burst(rounds, n0, burstAt int, burstFrac float64, seed uint64) (*Timeline, error) {
+	if rounds <= 0 || n0 <= 0 {
+		return nil, errors.New("workload: rounds and n0 must be positive")
+	}
+	if burstAt < 1 || burstAt >= rounds {
+		return nil, errors.New("workload: burstAt out of (0, rounds)")
+	}
+	if burstFrac <= 0 || burstFrac >= 1 {
+		return nil, errors.New("workload: burstFrac out of (0, 1)")
+	}
+	t := &Timeline{UniverseSeed: seed}
+	cur := Round{Start: 0, N: n0}
+	for i := 0; i < rounds; i++ {
+		if i == burstAt {
+			gone := int(float64(cur.N) * burstFrac)
+			cur = Round{Start: cur.Start + gone, N: cur.N - gone}
+		}
+		t.Rounds = append(t.Rounds, cur)
+	}
+	return t, nil
+}
+
+// Seasonal generates a deterministic timeline whose size swings between n0
+// and n0·(1+amplitude) over a period of `period` rounds (receipts on the
+// upswing, shipments on the downswing), approximating a weekly stocking
+// cycle.
+func Seasonal(rounds, n0, period int, amplitude float64, seed uint64) (*Timeline, error) {
+	if rounds <= 0 || n0 <= 0 || period <= 1 {
+		return nil, errors.New("workload: rounds, n0 and period must be positive (period > 1)")
+	}
+	if amplitude <= 0 || amplitude > 2 {
+		return nil, errors.New("workload: amplitude out of (0, 2]")
+	}
+	t := &Timeline{UniverseSeed: seed}
+	cur := Round{Start: 0, N: n0}
+	half := period / 2
+	for i := 0; i < rounds; i++ {
+		t.Rounds = append(t.Rounds, cur)
+		step := int(float64(n0) * amplitude / float64(half))
+		if i%period < half {
+			cur = Round{Start: cur.Start, N: cur.N + step} // receipts
+		} else {
+			gone := step
+			if gone >= cur.N {
+				gone = cur.N - 1
+			}
+			cur = Round{Start: cur.Start + gone, N: cur.N - gone} // shipments
+		}
+	}
+	t.Rounds = t.Rounds[:rounds]
+	return t, nil
+}

@@ -1,0 +1,202 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormMoments(t *testing.T) {
+	r := New(11)
+	const trials = 200000
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormMeanStd(t *testing.T) {
+	r := New(12)
+	const trials = 100000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += r.NormMeanStd(10, 2)
+	}
+	if mean := sum / trials; math.Abs(mean-10) > 0.05 {
+		t.Fatalf("NormMeanStd mean = %v, want ~10", mean)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(13)
+	const p, trials = 0.2, 100000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / trials
+	want := (1 - p) / p // E[failures before first success]
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("Geometric mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestGeometricPOne(t *testing.T) {
+	r := New(14)
+	for i := 0; i < 100; i++ {
+		if r.Geometric(1) != 0 {
+			t.Fatal("Geometric(1) != 0")
+		}
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(0) did not panic")
+		}
+	}()
+	New(1).Geometric(0)
+}
+
+func TestGeometricHalfDistribution(t *testing.T) {
+	r := New(15)
+	const trials = 200000
+	counts := make([]int, 20)
+	for i := 0; i < trials; i++ {
+		j := r.GeometricHalf()
+		if j < len(counts) {
+			counts[j]++
+		}
+	}
+	for j := 0; j < 8; j++ {
+		want := float64(trials) * math.Pow(0.5, float64(j+1))
+		got := float64(counts[j])
+		if math.Abs(got-want) > 6*math.Sqrt(want) {
+			t.Fatalf("GeometricHalf P(%d): got %v, want ~%v", j, got, want)
+		}
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	r := New(16)
+	if r.Binomial(0, 0.5) != 0 {
+		t.Fatal("Binomial(0, p) != 0")
+	}
+	if r.Binomial(10, 0) != 0 {
+		t.Fatal("Binomial(n, 0) != 0")
+	}
+	if r.Binomial(10, 1) != 10 {
+		t.Fatal("Binomial(n, 1) != n")
+	}
+}
+
+func TestBinomialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Binomial with p>1 did not panic")
+		}
+	}()
+	New(1).Binomial(10, 1.5)
+}
+
+// testBinomialMoments checks sample mean and variance of Binomial(n, p)
+// against np and np(1-p) within 6 standard errors.
+func testBinomialMoments(t *testing.T, seed uint64, n int, p float64) {
+	t.Helper()
+	r := New(seed)
+	const trials = 50000
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		v := float64(r.Binomial(n, p))
+		if v < 0 || v > float64(n) {
+			t.Fatalf("Binomial(%d,%v) out of range: %v", n, p, v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	wantMean := float64(n) * p
+	wantVar := float64(n) * p * (1 - p)
+	seMean := math.Sqrt(wantVar / trials)
+	if math.Abs(mean-wantMean) > 6*seMean+1e-9 {
+		t.Fatalf("Binomial(%d,%v) mean = %v, want %v (se %v)", n, p, mean, wantMean, seMean)
+	}
+	// Variance of the sample variance ~ 2*var^2/trials for near-normal.
+	seVar := wantVar * math.Sqrt(3.0/trials) * 3
+	if math.Abs(variance-wantVar) > 6*seVar+1e-9 {
+		t.Fatalf("Binomial(%d,%v) variance = %v, want %v", n, p, variance, wantVar)
+	}
+}
+
+func TestBinomialSmallNP(t *testing.T)  { testBinomialMoments(t, 21, 100, 0.02) }
+func TestBinomialMediumNP(t *testing.T) { testBinomialMoments(t, 22, 1000, 0.05) }
+func TestBinomialLargeNP(t *testing.T)  { testBinomialMoments(t, 23, 100000, 0.3) }
+func TestBinomialHighP(t *testing.T)    { testBinomialMoments(t, 24, 5000, 0.9) }
+func TestBinomialHalfP(t *testing.T)    { testBinomialMoments(t, 25, 4096, 0.5) }
+
+func TestBinomialBTRSTails(t *testing.T) {
+	// The BTRS path must not produce impossible values over many draws.
+	r := New(26)
+	for i := 0; i < 200000; i++ {
+		v := r.Binomial(10000, 0.01)
+		if v < 0 || v > 10000 {
+			t.Fatalf("out-of-range binomial draw %d", v)
+		}
+	}
+}
+
+func TestMultinomialConservation(t *testing.T) {
+	r := New(27)
+	occ := r.Multinomial(12345, 64)
+	total := 0
+	for _, c := range occ {
+		total += c
+	}
+	if total != 12345 {
+		t.Fatalf("Multinomial lost balls: %d", total)
+	}
+}
+
+func TestMultinomialUniform(t *testing.T) {
+	r := New(28)
+	const balls, bins = 640000, 64
+	occ := r.Multinomial(balls, bins)
+	want := float64(balls) / bins
+	for i, c := range occ {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Fatalf("bin %d occupancy %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkBinomialBTRS(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Binomial(3000000, 0.01)
+	}
+}
+
+func BenchmarkBinomialInversion(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Binomial(1000000, 1e-6)
+	}
+}

@@ -1,0 +1,52 @@
+package rfidest
+
+import (
+	"errors"
+
+	"rfidest/internal/missing"
+)
+
+// MissingReport is the outcome of a missing-tag detection run.
+type MissingReport struct {
+	Expected      int      // size of the expected inventory
+	MissingIDs    []uint64 // tagIDs convicted (certain, under a perfect channel)
+	EstimateCount float64  // estimated number of missing tags
+	Coverage      float64  // fraction of expected tags checked at least once
+	Seconds       float64  // air time under EPCglobal C1G2
+}
+
+// DetectMissing checks the system's present tags against an expected
+// inventory (another tag-level System holding the full expected
+// population) and reports which expected tags are absent. rounds frames
+// are run with fresh seeds (0 uses the default 8); each round is one
+// constant-time frame, and a tag convicted by an idle singleton slot is
+// missing with certainty under the paper's perfect-channel assumption.
+//
+// Both systems must be tag-level: the reader precomputes each expected
+// tag's slot with the same hash the tags run, which synthetic engines do
+// not model.
+func (s *System) DetectMissing(expected *System, rounds int) (MissingReport, error) {
+	if expected == nil {
+		return MissingReport{}, errors.New("rfidest: nil expected inventory")
+	}
+	if s.synthetic || s.merged != nil || expected.synthetic || expected.merged != nil {
+		return MissingReport{}, errors.New("rfidest: missing-tag detection needs plain tag-level systems")
+	}
+	if rounds < 0 {
+		return MissingReport{}, errors.New("rfidest: negative rounds")
+	}
+	res, err := missing.Detect(s.session(), expected.pop.Tags, missing.Config{
+		Rounds: rounds,
+		Mode:   s.hashMode,
+	})
+	if err != nil {
+		return MissingReport{}, err
+	}
+	return MissingReport{
+		Expected:      res.Expected,
+		MissingIDs:    res.MissingIDs,
+		EstimateCount: res.EstimateCount,
+		Coverage:      res.Coverage,
+		Seconds:       res.Seconds,
+	}, nil
+}

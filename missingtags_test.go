@@ -1,0 +1,92 @@
+package rfidest
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDetectMissingIdentifies(t *testing.T) {
+	const universe, n = 801, 10000
+	expected := PopulationAt(universe, 0, n)
+	present := PopulationWithout(universe, n, 1000, 1100)
+	report, err := present.DetectMissing(expected, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Expected != n {
+		t.Fatalf("expected count = %d", report.Expected)
+	}
+	if len(report.MissingIDs) < 95 || len(report.MissingIDs) > 100 {
+		t.Fatalf("identified %d of 100 missing", len(report.MissingIDs))
+	}
+	if math.Abs(report.EstimateCount-100) > 50 {
+		t.Fatalf("estimate %v, want ~100", report.EstimateCount)
+	}
+	// Every conviction must be a genuinely removed tag.
+	removed := map[uint64]bool{}
+	for _, tag := range expected.pop.Tags[1000:1100] {
+		removed[tag.ID] = true
+	}
+	for _, id := range report.MissingIDs {
+		if !removed[id] {
+			t.Fatalf("present tag %d convicted", id)
+		}
+	}
+	if report.Seconds <= 0 {
+		t.Fatal("no air time reported")
+	}
+}
+
+func TestDetectMissingIntactInventory(t *testing.T) {
+	const universe, n = 803, 5000
+	expected := PopulationAt(universe, 0, n)
+	present := PopulationAt(universe, 0, n)
+	report, err := present.DetectMissing(expected, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.MissingIDs) != 0 || report.EstimateCount != 0 {
+		t.Fatalf("intact inventory convicted %d tags (estimate %v)",
+			len(report.MissingIDs), report.EstimateCount)
+	}
+}
+
+func TestDetectMissingValidation(t *testing.T) {
+	sys := NewSystem(100)
+	if _, err := sys.DetectMissing(nil, 1); err == nil {
+		t.Fatal("nil expected accepted")
+	}
+	if _, err := sys.DetectMissing(NewSystem(10), -1); err == nil {
+		t.Fatal("negative rounds accepted")
+	}
+	if _, err := NewSystem(10, WithSynthetic()).DetectMissing(NewSystem(10), 1); err == nil {
+		t.Fatal("synthetic present system accepted")
+	}
+	if _, err := sys.DetectMissing(NewSystem(10, WithSynthetic()), 1); err == nil {
+		t.Fatal("synthetic expected system accepted")
+	}
+}
+
+func TestPopulationWithout(t *testing.T) {
+	full := PopulationAt(805, 0, 1000)
+	gapped := PopulationWithout(805, 1000, 100, 200)
+	if gapped.N() != 900 {
+		t.Fatalf("gapped N = %d", gapped.N())
+	}
+	// The kept tags bracket the gap exactly.
+	if gapped.pop.Tags[99] != full.pop.Tags[99] {
+		t.Fatal("pre-gap tags differ")
+	}
+	if gapped.pop.Tags[100] != full.pop.Tags[200] {
+		t.Fatal("post-gap tags differ")
+	}
+}
+
+func TestPopulationWithoutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid gap did not panic")
+		}
+	}()
+	PopulationWithout(1, 100, 50, 30)
+}

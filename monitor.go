@@ -1,0 +1,101 @@
+package rfidest
+
+import (
+	"errors"
+	"fmt"
+
+	"rfidest/internal/channel"
+	"rfidest/internal/core"
+)
+
+// Monitor tracks a (possibly drifting) deployment with repeated BFCE
+// rounds, warm-starting each round from the previous one: the probe phase
+// resumes from the last valid persistence numerator, and — when FastRounds
+// is enabled — the rough phase is skipped entirely on most rounds, with
+// the previous estimate standing in as the lower-bound input. A fast round
+// costs only the 8192-slot accurate frame (~0.16 s of air time).
+type Monitor struct {
+	inner *core.Monitor
+}
+
+// NewMonitor builds a monitor to the (ε, δ) requirement. fastRounds is how
+// many consecutive rounds may skip the rough phase before a full round is
+// forced (0 = every round runs the full protocol).
+func NewMonitor(epsilon, delta float64, fastRounds int) (*Monitor, error) {
+	if fastRounds < 0 {
+		return nil, errors.New("rfidest: negative fastRounds")
+	}
+	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("rfidest: epsilon and delta must be in (0, 1), got (%v, %v)", epsilon, delta)
+	}
+	m, err := core.NewMonitor(core.Config{Epsilon: epsilon, Delta: delta})
+	if err != nil {
+		return nil, err
+	}
+	m.FastRounds = fastRounds
+	return &Monitor{inner: m}, nil
+}
+
+// Estimate runs the next monitoring round against sys (typically a fresh
+// System per round, reflecting the deployment's current population).
+func (m *Monitor) Estimate(sys *System) (Estimate, error) {
+	if sys == nil {
+		return Estimate{}, errors.New("rfidest: nil system")
+	}
+	session := sys.session()
+	res, err := m.inner.Estimate(session)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{
+		N:                res.Estimate,
+		Seconds:          res.Seconds,
+		Slots:            res.Cost.TagSlots,
+		ReaderBits:       res.Cost.ReaderBits,
+		Rounds:           1,
+		Guarded:          res.Feasible,
+		TagTransmissions: session.TagTransmissions(),
+	}, nil
+}
+
+// Rounds returns how many rounds the monitor has completed.
+func (m *Monitor) Rounds() int { return m.inner.Rounds() }
+
+// Merge returns a System whose reader hears the union of the given
+// tag-level systems — the paper's multi-reader deployment (§III-A), where
+// synchronized readers are "logically considered as one reader". unionN is
+// the ground-truth union cardinality (the caller knows the overlap; the
+// merged reader does not need to). Overlapping coverage is handled exactly:
+// a tag heard by several readers responds in the same slots through each.
+func Merge(unionN int, systems ...*System) (*System, error) {
+	if len(systems) == 0 {
+		return nil, errors.New("rfidest: Merge needs at least one system")
+	}
+	if unionN < 0 {
+		return nil, errors.New("rfidest: negative union cardinality")
+	}
+	for i, sub := range systems {
+		if sub == nil {
+			return nil, fmt.Errorf("rfidest: system %d is nil", i)
+		}
+		if sub.synthetic {
+			return nil, fmt.Errorf("rfidest: system %d is synthetic; multi-reader merging needs tag-level systems", i)
+		}
+	}
+	merged := &System{
+		n:        unionN,
+		seed:     systems[0].seed ^ 0xd0c5,
+		hashMode: systems[0].hashMode,
+		merged:   systems,
+	}
+	return merged, nil
+}
+
+// mergedEngine builds the union engine over the sub-systems' populations.
+func (s *System) mergedEngine() channel.Engine {
+	engines := make([]channel.Engine, len(s.merged))
+	for i, sub := range s.merged {
+		engines[i] = channel.NewTagEngine(sub.pop, sub.hashMode)
+	}
+	return channel.NewMergedEngine(s.n, engines...)
+}
