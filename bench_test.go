@@ -8,12 +8,15 @@
 package rfidest_test
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"rfidest"
 	"rfidest/internal/experiment"
+	"rfidest/internal/fleet"
 )
 
 // printedTables dedupes table output across the benchmark framework's
@@ -130,6 +133,41 @@ func BenchmarkZOESynthetic(b *testing.B) {
 		if _, err := sys.EstimateWith("ZOE", 0.05, 0.05); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFleetEstimate measures the fleet runner's parallel throughput:
+// a mixed batch of 8 shared synthetic Systems × BFCE with 4 trials each,
+// fanned out over GOMAXPROCS workers (sub-benchmark "seq" pins one worker
+// as the scaling baseline). The per-op metric of interest is
+// estimations/s; the baseline recording lives in results/BENCH_fleet.json.
+func BenchmarkFleetEstimate(b *testing.B) {
+	var jobs []fleet.Job
+	for i := 0; i < 8; i++ {
+		sys := rfidest.NewSystem(100000*(i+1), rfidest.WithSeed(uint64(i)), rfidest.WithSynthetic())
+		jobs = append(jobs, fleet.Job{
+			System: sys, Estimator: "BFCE", Epsilon: 0.05, Delta: 0.05, Trials: 4,
+		})
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"seq", 1},
+		{fmt.Sprintf("par-%d", runtime.GOMAXPROCS(0)), 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var rep *fleet.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = fleet.Run(context.Background(), fleet.Config{Workers: bc.workers, Seed: 0xbead}, jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.Throughput, "estimations/s")
+			b.ReportMetric(rep.MeanAbsErr, "mean-abs-err")
+		})
 	}
 }
 

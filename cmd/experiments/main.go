@@ -8,6 +8,7 @@
 //	experiments -run fig9,fig10       # only the comparison figures
 //	experiments -csv results/         # additionally write one CSV per table
 //	experiments -trials 20 -seed 7    # override repetitions and seed
+//	experiments -workers 2            # bound the trial pool (same results)
 package main
 
 import (
@@ -24,9 +25,10 @@ func main() {
 	var (
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		run    = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		seed   = flag.Uint64("seed", experiment.DefaultOptions().Seed, "experiment seed")
-		trials = flag.Int("trials", 0, "override per-point trials (0 = figure defaults)")
-		csvDir = flag.String("csv", "", "also write one CSV per table into this directory")
+		seed    = flag.Uint64("seed", experiment.DefaultOptions().Seed, "experiment seed")
+		trials  = flag.Int("trials", 0, "override per-point trials (0 = figure defaults)")
+		workers = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS; results identical either way)")
+		csvDir  = flag.String("csv", "", "also write one CSV per table into this directory")
 	)
 	flag.Parse()
 
@@ -37,7 +39,7 @@ func main() {
 		return
 	}
 
-	o := experiment.Options{Seed: *seed, Trials: *trials}
+	o := experiment.Options{Seed: *seed, Trials: *trials, Workers: *workers}
 	var ids []string
 	if *run != "" {
 		for _, id := range strings.Split(*run, ",") {

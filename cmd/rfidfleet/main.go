@@ -1,0 +1,154 @@
+// Command rfidfleet runs a mixed fleet-estimation workload — N simulated
+// deployments crossed with M estimators — concurrently over the
+// internal/fleet worker pool and prints a throughput/accuracy report.
+// It is the load harness for the concurrent session layer: many
+// independent reader sessions in flight against shared Systems, with
+// results bit-identical for a fixed seed no matter the worker count.
+//
+// Usage examples:
+//
+//	rfidfleet                                      # 8 systems x BFCE,ZOE,SRC
+//	rfidfleet -systems 16 -trials 10 -workers 4    # bounded pool
+//	rfidfleet -estimators BFCE -min-n 1e4 -max-n 1e6
+//	rfidfleet -tag-level -noise 0.001              # per-tag fidelity + noise
+//	rfidfleet -timeout 10s                         # cancel long batches
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"rfidest"
+	"rfidest/internal/fleet"
+)
+
+func main() {
+	var (
+		systems    = flag.Int("systems", 8, "number of simulated deployments")
+		minN       = flag.Float64("min-n", 10000, "smallest deployment cardinality")
+		maxN       = flag.Float64("max-n", 1000000, "largest deployment cardinality (log-spaced up from min-n)")
+		estimators = flag.String("estimators", "BFCE,ZOE,SRC", "comma-separated estimator names: "+strings.Join(rfidest.Estimators(), " | "))
+		eps        = flag.Float64("eps", 0.05, "confidence interval epsilon")
+		delta      = flag.Float64("delta", 0.05, "error probability delta")
+		trials     = flag.Int("trials", 5, "estimations per (system, estimator) job")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS; results identical either way)")
+		seed       = flag.Uint64("seed", 1, "root seed: pins populations and every trial's session")
+		tagLevel   = flag.Bool("tag-level", false, "materialize tag populations (default: exact synthetic channel)")
+		noise      = flag.Float64("noise", 0, "symmetric per-slot reader error rate applied to half the systems")
+		timeout    = flag.Duration("timeout", 0, "cancel the batch after this long (0 = no limit)")
+		verbose    = flag.Bool("v", false, "also print one line per job")
+	)
+	flag.Parse()
+
+	if *systems < 1 || *trials < 1 || *minN < 1 || *maxN < *minN {
+		fmt.Fprintln(os.Stderr, "rfidfleet: need systems >= 1, trials >= 1, 1 <= min-n <= max-n")
+		os.Exit(2)
+	}
+	var names []string
+	for _, name := range strings.Split(*estimators, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "rfidfleet: no estimators selected")
+		os.Exit(2)
+	}
+
+	jobs := buildWorkload(*systems, *minN, *maxN, names, *eps, *delta, *trials, *seed, *tagLevel, *noise)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	fmt.Printf("fleet: %d systems x %d estimators x %d trials = %d estimations (workers=%d seed=%d)\n",
+		*systems, len(names), *trials, *systems*len(names)**trials, *workers, *seed)
+
+	rep, err := fleet.Run(ctx, fleet.Config{Workers: *workers, Seed: *seed}, jobs)
+	if err != nil && rep == nil {
+		fmt.Fprintf(os.Stderr, "rfidfleet: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *verbose {
+		for _, r := range rep.Jobs {
+			switch {
+			case r.Skipped:
+				fmt.Printf("  %-28s skipped (cancelled)\n", r.Label())
+			case r.Err != nil:
+				fmt.Printf("  %-28s FAILED at trial %d: %v\n", r.Label(), r.FailedAt, r.Err)
+			default:
+				fmt.Printf("  %-28s n=%-8d trials=%d mean-err=%.4f max-err=%.4f air=%.3fs\n",
+					r.Label(), r.Job.System.N(), len(r.Estimates), r.MeanAbsErr, r.MaxAbsErr, r.AirSeconds)
+			}
+		}
+	}
+
+	fmt.Println()
+	fmt.Printf("%-12s %5s %7s %10s %9s %10s %12s\n",
+		"estimator", "jobs", "trials", "mean-err", "p90-err", "air-time", "failed")
+	for _, g := range rep.PerEstimator() {
+		fmt.Printf("%-12s %5d %7d %10.4f %9.4f %9.3fs %12d\n",
+			g.Estimator, g.Jobs, g.Trials, g.MeanAbsErr, g.P90AbsErr, g.AirSeconds, g.Failed)
+	}
+	fmt.Println()
+	fmt.Printf("totals: %d trials (%d jobs failed, %d skipped)  mean-err=%.4f p50=%.4f p90=%.4f p99=%.4f max=%.4f\n",
+		rep.Trials, rep.Failed, rep.Skipped, rep.MeanAbsErr, rep.P50AbsErr, rep.P90AbsErr, rep.P99AbsErr, rep.MaxAbsErr)
+	fmt.Printf("time:   simulated air %.2fs, wall %.2fs, throughput %.1f estimations/s\n",
+		rep.AirSeconds, rep.WallSeconds, rep.Throughput)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rfidfleet: batch cancelled: %v\n", err)
+		os.Exit(1)
+	}
+	if rep.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// buildWorkload lays out the mixed batch: `systems` deployments with
+// log-spaced cardinalities cycling through the three tagID distributions,
+// every other one noisy when a noise rate is set, crossed with the chosen
+// estimators. Everything derives from seed, so a fixed command line is a
+// fixed workload.
+func buildWorkload(systems int, minN, maxN float64, names []string, eps, delta float64, trials int, seed uint64, tagLevel bool, noise float64) []fleet.Job {
+	dists := []rfidest.Distribution{rfidest.Uniform, rfidest.ApproxNormal, rfidest.Normal}
+	var jobs []fleet.Job
+	for i := 0; i < systems; i++ {
+		frac := 0.0
+		if systems > 1 {
+			frac = float64(i) / float64(systems-1)
+		}
+		n := int(math.Round(minN * math.Pow(maxN/minN, frac)))
+		opts := []rfidest.SystemOption{rfidest.WithSeed(seed + uint64(i))}
+		variant := "synthetic"
+		if tagLevel {
+			opts = append(opts, rfidest.WithDistribution(dists[i%len(dists)]))
+			variant = dists[i%len(dists)].String()
+		} else {
+			opts = append(opts, rfidest.WithSynthetic())
+		}
+		if noise > 0 && i%2 == 1 {
+			opts = append(opts, rfidest.WithNoise(noise, noise))
+			variant += "+noise"
+		}
+		sys := rfidest.NewSystem(n, opts...)
+		for _, name := range names {
+			jobs = append(jobs, fleet.Job{
+				Name:      fmt.Sprintf("n=%d(%s)/%s", n, variant, name),
+				System:    sys,
+				Estimator: name,
+				Epsilon:   eps,
+				Delta:     delta,
+				Trials:    trials,
+			})
+		}
+	}
+	return jobs
+}

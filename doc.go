@@ -34,6 +34,20 @@
 // one on which BFCE is constant-time and ZOE, despite its O(log log n)
 // slot count, is not.
 //
+// # Concurrency
+//
+// A System is safe to estimate from concurrently: population and
+// configuration are immutable once built, every Estimate* call opens a
+// fresh session over them, and the shared session counter is atomic.
+// Counter-derived sessions make concurrent calls independent but their
+// numbering scheduling-dependent; EstimateWithSalt addresses a session by
+// an explicit salt instead, replaying bit-identically regardless of what
+// else is in flight. Monitor and Tracker carry state between rounds by
+// design and are single-goroutine. The internal/fleet runner (driven by
+// cmd/rfidfleet) fans batches of estimation jobs across a bounded worker
+// pool on top of these guarantees, with results independent of the worker
+// count.
+//
 // The experiment harness that regenerates every table and figure of the
 // paper lives in cmd/experiments; DESIGN.md maps each experiment to the
 // modules involved and EXPERIMENTS.md records paper-vs-measured outcomes.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"rfidest/internal/channel"
 	"rfidest/internal/core"
 	"rfidest/internal/estimators"
 	"rfidest/internal/timing"
@@ -78,8 +79,28 @@ func Estimators() []string {
 }
 
 // EstimateWith runs the named protocol (see Estimators) to the (ε, δ)
-// requirement over a fresh session.
+// requirement over a fresh session drawn from the system's session
+// counter. Safe for concurrent use; under concurrency the assignment of
+// counter values to callers (and hence each caller's exact result) is
+// scheduling-dependent — use EstimateWithSalt when results must be
+// reproducible regardless of interleaving.
 func (s *System) EstimateWith(name string, epsilon, delta float64) (Estimate, error) {
+	return s.estimateOn(s.session, name, epsilon, delta)
+}
+
+// EstimateWithSalt runs the named protocol over the session addressed by
+// salt instead of the shared session counter. Equal (system, salt) pairs
+// replay bit-identical sessions no matter how many other estimations are
+// in flight, which is what deterministic parallel harnesses (the
+// internal/fleet runner, experiment trial loops) key their jobs on.
+// Distinct salts give independent sessions, like distinct counter values.
+func (s *System) EstimateWithSalt(name string, epsilon, delta float64, salt uint64) (Estimate, error) {
+	return s.estimateOn(func() *channel.Reader { return s.sessionAt(salt) }, name, epsilon, delta)
+}
+
+// estimateOn validates parameters, opens a session via open and runs the
+// named protocol over it.
+func (s *System) estimateOn(open func() *channel.Reader, name string, epsilon, delta float64) (Estimate, error) {
 	mk, ok := registry[name]
 	if !ok {
 		return Estimate{}, fmt.Errorf("rfidest: unknown estimator %q (known: %v)", name, Estimators())
@@ -87,7 +108,7 @@ func (s *System) EstimateWith(name string, epsilon, delta float64) (Estimate, er
 	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
 		return Estimate{}, fmt.Errorf("rfidest: epsilon and delta must be in (0, 1), got (%v, %v)", epsilon, delta)
 	}
-	session := s.session()
+	session := open()
 	res, err := mk().Estimate(session, estimators.Accuracy{Epsilon: epsilon, Delta: delta})
 	if err != nil {
 		return Estimate{}, err

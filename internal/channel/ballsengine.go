@@ -14,6 +14,11 @@ import (
 // stochastic process as TagEngine — see TestEnginesAgree — at O(n·k·p + w)
 // per frame instead of O(n·k), which makes protocols that run thousands of
 // frames (ZOE) tractable in large sweeps.
+//
+// Like every engine, a BallsEngine is single-session state (its RNG and
+// energy counter advance on every frame) — one goroutine drives it for
+// its whole life. Concurrency happens one level up, with one engine per
+// session.
 type BallsEngine struct {
 	N   int // ground-truth population size
 	rng *xrand.Rand

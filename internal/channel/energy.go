@@ -9,6 +9,8 @@ package channel
 //
 // The counter is cumulative over the engine's lifetime; callers measure a
 // protocol by differencing around the run (see Reader.TagTransmissions).
+// It is plain per-engine state, updated by the single goroutine driving
+// the engine's session — read it from that goroutine only.
 type EnergyMeter interface {
 	// TagTransmissions returns the total number of tag transmissions the
 	// engine has executed so far.

@@ -5,7 +5,9 @@ import "rfidest/internal/xrand"
 // NoisyEngine wraps an Engine with a symmetric-error channel model: each
 // observed slot is independently misread by the reader. The paper assumes
 // a perfect channel (§III-A); this wrapper powers the noise ablation that
-// probes how much that assumption carries.
+// probes how much that assumption carries. Its noise RNG advances per
+// observed slot, so — like the engines it wraps — it is single-session,
+// single-goroutine state.
 type NoisyEngine struct {
 	Inner Engine
 	// FalseBusy is the probability an idle slot is sensed busy (ambient

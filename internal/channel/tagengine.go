@@ -47,6 +47,12 @@ func (m HashMode) String() string {
 
 // TagEngine executes frames by iterating every tag and running the
 // tag-side algorithm, giving per-tag fidelity at O(n·k) per frame.
+//
+// An engine belongs to exactly one reader session and is driven by one
+// goroutine: the energy counter is written on every frame without
+// synchronization. Pop, however, is only read, so any number of sessions
+// may share one population — which is how a shared System supports
+// concurrent estimation (it builds a fresh engine per session).
 type TagEngine struct {
 	Pop  *tags.Population
 	Mode HashMode

@@ -22,6 +22,11 @@ import (
 // (ε, δ) guarantee of a round holds whenever its rough input undershoots
 // the true cardinality — the same condition as single-shot BFCE, with the
 // previous round's (1−ε)-scaled estimate playing the role of c·n̂_r.
+//
+// A Monitor is intentionally not safe for concurrent use: lastPn, lastN
+// and rounds are carried between rounds because round i+1's inputs are
+// round i's outputs. The contract is one goroutine per Monitor; shard a
+// deployment across several Monitors if rounds must overlap.
 type Monitor struct {
 	est    *Estimator
 	lastPn int     // last valid probe numerator (0 = cold)

@@ -14,7 +14,7 @@ import (
 // and the lower-bound violation rate.
 func bfceTrialStats(o Options, cfg core.Config, n, trials int, salt uint64) (acc stats.Summary, meanSec float64, lbViolations float64) {
 	est := core.MustNew(cfg)
-	results := parallelMap(trials, func(trial int) core.Result {
+	results := parallelMap(o.Workers, trials, func(trial int) core.Result {
 		r := o.tagSession(n, tags.T2, channel.IdealRN, xrand.Combine(salt, uint64(trial)))
 		res, err := est.Estimate(r)
 		if err != nil {

@@ -163,7 +163,7 @@ func Fig8(o Options) *Table {
 	samples := make([][]float64, len(tags.Distributions))
 	for i, d := range tags.Distributions {
 		d := d
-		samples[i] = parallelMap(trials, func(trial int) float64 {
+		samples[i] = parallelMap(o.Workers, trials, func(trial int) float64 {
 			return bfceOnce(o, n, d, 0.05, 0.05, uint64(0x800+trial)).Estimate
 		})
 	}

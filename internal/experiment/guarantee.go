@@ -33,7 +33,7 @@ func Guarantee(o Options) *Table {
 		bfceAcc := 0.0
 		for mi, mk := range makers {
 			mi, mk := mi, mk
-			errs := parallelMap(trials, func(trial int) float64 {
+			errs := parallelMap(o.Workers, trials, func(trial int) float64 {
 				seed := xrand.Combine(o.Seed, 0x9a4, uint64(mi),
 					uint64(pair[0]*1e4), uint64(pair[1]*1e4), uint64(trial))
 				r := channel.NewReader(channel.NewBallsEngine(n, seed), seed+1)

@@ -40,6 +40,10 @@ type Options struct {
 	// Trials overrides the per-point repetition count of experiments that
 	// report rates or distributions (0 keeps each figure's default).
 	Trials int
+	// Workers bounds the trial worker pool (0 = GOMAXPROCS). Results are
+	// independent of the worker count by construction; the knob exists for
+	// constrained machines and for verifying exactly that.
+	Workers int
 }
 
 // DefaultOptions is used by the experiments binary and the benches.

@@ -1,42 +1,19 @@
 package experiment
 
 import (
-	"runtime"
-	"sync"
+	"context"
+
+	"rfidest/internal/fleet"
 )
 
-// parallelMap evaluates fn(0..n-1) across GOMAXPROCS workers and returns
-// the results in index order. Trials in this package derive all their
-// randomness from their index (via xrand.Combine with the experiment
-// seed), so the output is bit-identical to a sequential loop regardless of
-// scheduling — parallelism changes wall-clock time, never results.
-func parallelMap[T any](n int, fn func(i int) T) []T {
-	out := make([]T, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			out[i] = fn(i)
-		}
-		return out
-	}
-	indices := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range indices {
-				out[i] = fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		indices <- i
-	}
-	close(indices)
-	wg.Wait()
+// parallelMap evaluates fn(0..n-1) across a bounded worker pool (workers
+// <= 0 means GOMAXPROCS) and returns the results in index order. It is a
+// thin wrapper over fleet.Map, the job-level pool the whole repository
+// runs on. Trials in this package derive all their randomness from their
+// index (via xrand.Combine with the experiment seed), so the output is
+// bit-identical to a sequential loop regardless of scheduling —
+// parallelism changes wall-clock time, never results.
+func parallelMap[T any](workers, n int, fn func(i int) T) []T {
+	out, _ := fleet.Map(context.Background(), workers, n, fn)
 	return out
 }

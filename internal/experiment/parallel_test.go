@@ -6,7 +6,7 @@ import (
 )
 
 func TestParallelMapOrderAndCompleteness(t *testing.T) {
-	got := parallelMap(100, func(i int) int { return i * i })
+	got := parallelMap(0, 100, func(i int) int { return i * i })
 	for i, v := range got {
 		if v != i*i {
 			t.Fatalf("index %d = %d", i, v)
@@ -15,13 +15,13 @@ func TestParallelMapOrderAndCompleteness(t *testing.T) {
 }
 
 func TestParallelMapEmpty(t *testing.T) {
-	if got := parallelMap(0, func(i int) int { return i }); len(got) != 0 {
+	if got := parallelMap(0, 0, func(i int) int { return i }); len(got) != 0 {
 		t.Fatalf("len = %d", len(got))
 	}
 }
 
 func TestParallelMapSingle(t *testing.T) {
-	got := parallelMap(1, func(i int) string { return "x" })
+	got := parallelMap(0, 1, func(i int) string { return "x" })
 	if len(got) != 1 || got[0] != "x" {
 		t.Fatalf("got %v", got)
 	}
@@ -29,7 +29,7 @@ func TestParallelMapSingle(t *testing.T) {
 
 func TestParallelMapMoreWorkUnitsThanCPUs(t *testing.T) {
 	n := 4*runtime.GOMAXPROCS(0) + 3
-	got := parallelMap(n, func(i int) int { return i + 1 })
+	got := parallelMap(0, n, func(i int) int { return i + 1 })
 	for i, v := range got {
 		if v != i+1 {
 			t.Fatalf("index %d = %d", i, v)

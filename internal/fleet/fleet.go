@@ -1,0 +1,284 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"rfidest"
+	"rfidest/internal/stats"
+	"rfidest/internal/xrand"
+)
+
+// Job is one unit of fleet work: repeated (ε, δ) estimations of a single
+// System with a named estimator.
+type Job struct {
+	// Name labels the job in reports; empty names render as "sysI/estimator".
+	Name string
+	// System is the deployment to estimate. Systems may be shared between
+	// jobs: concurrent estimation over one System is safe, and fleet trials
+	// address their sessions by salt, so sharing does not perturb results.
+	System *rfidest.System
+	// Estimator is a name accepted by System.EstimateWith (see
+	// rfidest.Estimators).
+	Estimator string
+	// Epsilon, Delta form the accuracy requirement, both in (0, 1).
+	Epsilon, Delta float64
+	// Trials is how many independent estimations to run (0 means 1).
+	Trials int
+}
+
+// JobResult is the outcome of one Job.
+type JobResult struct {
+	Job   Job
+	Index int // position in the submitted batch
+
+	// Estimates holds one entry per completed trial, in trial order.
+	Estimates []rfidest.Estimate
+	// Err is the first trial error; trials after a failure are not run.
+	// FailedAt is that trial's index (-1 when Err is nil).
+	Err      error
+	FailedAt int
+	// Skipped is set when cancellation struck before the job started.
+	Skipped bool
+
+	// MeanAbsErr and MaxAbsErr summarize |n̂−n|/n over the completed
+	// trials against the System's ground truth (NaN-free: 0 when no trial
+	// completed).
+	MeanAbsErr float64
+	MaxAbsErr  float64
+	// AirSeconds is the total simulated air time the job consumed.
+	AirSeconds float64
+	// Transmissions is the total tag transmissions across trials, or -1
+	// when the System's engine does not meter energy.
+	Transmissions int
+}
+
+// Label returns the job's display name.
+func (r JobResult) Label() string {
+	if r.Job.Name != "" {
+		return r.Job.Name
+	}
+	return fmt.Sprintf("sys%d/%s", r.Index, r.Job.Estimator)
+}
+
+// Report aggregates a batch. Everything except WallSeconds and Throughput
+// is a pure function of (seed, jobs) — bit-identical across worker counts.
+type Report struct {
+	Jobs []JobResult
+
+	Trials  int // completed trials across all jobs
+	Failed  int // jobs that stopped on an error
+	Skipped int // jobs cancelled before starting
+
+	// Accuracy of all completed trials: mean and quantiles of |n̂−n|/n.
+	MeanAbsErr float64
+	P50AbsErr  float64
+	P90AbsErr  float64
+	P99AbsErr  float64
+	MaxAbsErr  float64
+
+	// AirSeconds is the total simulated air time; WallSeconds the real
+	// time Run took; Throughput the completed trials per wall second.
+	AirSeconds  float64
+	WallSeconds float64
+	Throughput  float64
+}
+
+// Config tunes a Run.
+type Config struct {
+	// Workers bounds the pool (<= 0 means GOMAXPROCS). The worker count
+	// affects wall-clock time only, never results.
+	Workers int
+	// Seed roots the per-trial session salts: trial t of job i runs over
+	// the session addressed by Combine(Seed, i, t).
+	Seed uint64
+}
+
+// Run executes the batch over a bounded worker pool. Job errors are
+// collected per job (a failing job does not stop its siblings); the
+// returned error is non-nil only for an invalid batch or cancellation.
+// On cancellation the partial Report is still returned, with unstarted
+// jobs marked Skipped.
+func Run(ctx context.Context, cfg Config, jobs []Job) (*Report, error) {
+	if len(jobs) == 0 {
+		return nil, errors.New("fleet: empty batch")
+	}
+	for i, j := range jobs {
+		if j.System == nil {
+			return nil, fmt.Errorf("fleet: job %d has a nil System", i)
+		}
+		if j.Trials < 0 {
+			return nil, fmt.Errorf("fleet: job %d has negative trials", i)
+		}
+	}
+
+	start := time.Now()
+	results, err := Map(ctx, cfg.Workers, len(jobs), func(i int) JobResult {
+		return runJob(ctx, cfg.Seed, i, jobs[i])
+	})
+	wall := time.Since(start).Seconds()
+
+	// Unstarted slots (cancellation) come back zero-valued; mark them.
+	for i := range results {
+		if results[i].Job.System == nil {
+			results[i] = JobResult{Job: jobs[i], Index: i, FailedAt: -1, Skipped: true, Transmissions: -1}
+		}
+	}
+	rep := summarize(results)
+	rep.WallSeconds = wall
+	if wall > 0 {
+		rep.Throughput = float64(rep.Trials) / wall
+	}
+	return rep, err
+}
+
+// saltFor derives the session salt of trial `trial` of job `job` — the
+// runner's whole seeding scheme, exposed so tests can replay any fleet
+// trial as a single direct EstimateWithSalt call.
+func saltFor(seed uint64, job, trial int) uint64 {
+	return xrand.Combine(seed, uint64(job), uint64(trial))
+}
+
+// runJob runs one job's trials sequentially, deriving each trial's
+// session salt from (seed, job index, trial index) alone.
+func runJob(ctx context.Context, seed uint64, index int, job Job) JobResult {
+	trials := job.Trials
+	if trials == 0 {
+		trials = 1
+	}
+	res := JobResult{Job: job, Index: index, FailedAt: -1}
+	truth := float64(job.System.N())
+	metered := false
+	for t := 0; t < trials; t++ {
+		if ctx.Err() != nil {
+			break // keep what completed; Run reports the cancellation
+		}
+		est, err := job.System.EstimateWithSalt(job.Estimator, job.Epsilon, job.Delta, saltFor(seed, index, t))
+		if err != nil {
+			res.Err = err
+			res.FailedAt = t
+			break
+		}
+		res.Estimates = append(res.Estimates, est)
+		res.AirSeconds += est.Seconds
+		if est.TagTransmissions >= 0 {
+			metered = true
+			res.Transmissions += est.TagTransmissions
+		}
+		if truth > 0 {
+			e := stats.RelError(est.N, truth)
+			res.MeanAbsErr += e
+			if e > res.MaxAbsErr {
+				res.MaxAbsErr = e
+			}
+		}
+	}
+	if len(res.Estimates) > 0 {
+		res.MeanAbsErr /= float64(len(res.Estimates))
+	}
+	if !metered {
+		res.Transmissions = -1
+	}
+	return res
+}
+
+// summarize folds job results into the batch-level Report.
+func summarize(results []JobResult) *Report {
+	rep := &Report{Jobs: results}
+	var errs []float64
+	for _, r := range results {
+		switch {
+		case r.Skipped:
+			rep.Skipped++
+		case r.Err != nil:
+			rep.Failed++
+		}
+		truth := float64(0)
+		if r.Job.System != nil {
+			truth = float64(r.Job.System.N())
+		}
+		for _, est := range r.Estimates {
+			rep.Trials++
+			rep.AirSeconds += est.Seconds
+			if truth > 0 {
+				errs = append(errs, stats.RelError(est.N, truth))
+			}
+		}
+	}
+	if len(errs) > 0 {
+		sum := 0.0
+		for _, e := range errs {
+			sum += e
+		}
+		rep.MeanAbsErr = sum / float64(len(errs))
+		sort.Float64s(errs)
+		rep.P50AbsErr = stats.Quantile(errs, 0.50)
+		rep.P90AbsErr = stats.Quantile(errs, 0.90)
+		rep.P99AbsErr = stats.Quantile(errs, 0.99)
+		rep.MaxAbsErr = errs[len(errs)-1]
+	}
+	return rep
+}
+
+// GroupStat is an aggregate over the jobs sharing one estimator.
+type GroupStat struct {
+	Estimator  string
+	Jobs       int
+	Trials     int
+	Failed     int
+	MeanAbsErr float64
+	P90AbsErr  float64
+	AirSeconds float64
+}
+
+// PerEstimator groups the report's completed trials by estimator name,
+// sorted by name — the breakdown the fleet CLI prints.
+func (rep *Report) PerEstimator() []GroupStat {
+	byName := map[string]*GroupStat{}
+	errsByName := map[string][]float64{}
+	for _, r := range rep.Jobs {
+		if r.Skipped {
+			continue
+		}
+		g := byName[r.Job.Estimator]
+		if g == nil {
+			g = &GroupStat{Estimator: r.Job.Estimator}
+			byName[r.Job.Estimator] = g
+		}
+		g.Jobs++
+		if r.Err != nil {
+			g.Failed++
+		}
+		g.Trials += len(r.Estimates)
+		g.AirSeconds += r.AirSeconds
+		truth := float64(r.Job.System.N())
+		for _, est := range r.Estimates {
+			if truth > 0 {
+				errsByName[r.Job.Estimator] = append(errsByName[r.Job.Estimator], stats.RelError(est.N, truth))
+			}
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]GroupStat, 0, len(names))
+	for _, name := range names {
+		g := byName[name]
+		if errs := errsByName[name]; len(errs) > 0 {
+			sum := 0.0
+			for _, e := range errs {
+				sum += e
+			}
+			g.MeanAbsErr = sum / float64(len(errs))
+			sort.Float64s(errs)
+			g.P90AbsErr = stats.Quantile(errs, 0.90)
+		}
+		out = append(out, *g)
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	got, err := Map(context.Background(), 0, 100, func(i int) int { return i * i })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d: got %d", i, v)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), 4, 0, func(i int) int { return i })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapWorkerCounts(t *testing.T) {
+	want := make([]int, 37)
+	for i := range want {
+		want[i] = 3*i + 1
+	}
+	for _, workers := range []int{-1, 1, 2, 3, runtime.GOMAXPROCS(0), 64} {
+		got, err := Map(context.Background(), workers, len(want), func(i int) int { return 3*i + 1 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d index %d: got %d want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	const n = 10000
+	got, err := Map(ctx, 2, n, func(i int) int {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return i + 1
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(got) != n {
+		t.Fatalf("result length %d, want %d", len(got), n)
+	}
+	if ran.Load() >= n {
+		t.Fatal("cancellation did not stop the pool early")
+	}
+	// Completed slots hold fn's value, unstarted ones the zero value.
+	zero, nonzero := 0, 0
+	for i, v := range got {
+		switch v {
+		case 0:
+			zero++
+		case i + 1:
+			nonzero++
+		default:
+			t.Fatalf("index %d: impossible value %d", i, v)
+		}
+	}
+	if zero == 0 || nonzero == 0 {
+		t.Fatalf("expected a mix of done/undone slots, got %d done, %d undone", nonzero, zero)
+	}
+}
+
+func TestMapSequentialCancelledUpfront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := Map(ctx, 1, 5, func(i int) int { return i + 1 })
+	if err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("index %d ran after upfront cancellation: %d", i, v)
+		}
+	}
+}

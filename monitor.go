@@ -14,6 +14,12 @@ import (
 // is enabled — the rough phase is skipped entirely on most rounds, with
 // the previous estimate standing in as the lower-bound input. A fast round
 // costs only the 8192-slot accurate frame (~0.16 s of air time).
+//
+// Unlike System, a Monitor is stateful by design — each round reads and
+// rewrites the warm-start state of the previous one — so it is
+// single-goroutine: rounds have a temporal order that concurrency would
+// destroy, not just a data race. Run one Monitor per monitoring loop;
+// different Monitors may share one System.
 type Monitor struct {
 	inner *core.Monitor
 }

@@ -2,6 +2,7 @@ package rfidest
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"rfidest/internal/channel"
 	"rfidest/internal/tags"
@@ -38,9 +39,16 @@ func (d Distribution) internal() tags.Distribution {
 func (d Distribution) String() string { return d.internal().String() }
 
 // System is a simulated RFID deployment: a tag population behind a
-// time-slotted bit-slot channel with a cost-accounting reader. A System is
-// immutable once built; each estimation call opens a fresh reader session
-// over it, so calls are independent and individually priced.
+// time-slotted bit-slot channel with a cost-accounting reader.
+//
+// Concurrency contract: the population and configuration are immutable
+// once built, and each estimation call opens a fresh reader session over
+// them, so Estimate* calls are safe to issue from any number of goroutines
+// against one shared System — the only cross-session state is the session
+// counter, which is advanced atomically. Counter-derived sessions make
+// calls independent but their numbering scheduling-dependent; callers that
+// need results reproducible under concurrency (the internal/fleet runner)
+// address sessions by explicit salt via EstimateWithSalt instead.
 type System struct {
 	n         int
 	dist      Distribution
@@ -53,7 +61,7 @@ type System struct {
 
 	pop      *tags.Population // nil when synthetic
 	merged   []*System        // non-nil for multi-reader merges (see Merge)
-	sessions uint64
+	sessions atomic.Uint64    // counter behind session(); never copied after New
 }
 
 // SystemOption configures NewSystem.
@@ -122,11 +130,22 @@ func (s *System) N() int { return s.n }
 // Distribution returns the system's tagID distribution.
 func (s *System) Distribution() Distribution { return s.dist }
 
-// session opens a fresh reader session; each call advances the session
-// counter so repeated estimates see independent randomness.
+// session opens a fresh reader session; each call atomically advances the
+// session counter so repeated estimates see independent randomness. Which
+// concurrent caller gets which session number is scheduling-dependent;
+// sessionAt is the deterministic alternative.
 func (s *System) session() *channel.Reader {
-	s.sessions++
-	salt := xrand.Combine(s.seed, 0x5e55, s.sessions)
+	return s.sessionAt(s.sessions.Add(1))
+}
+
+// sessionAt opens the reader session addressed by salt. Every per-session
+// random stream (frame sampling, channel noise, broadcast seeds) derives
+// from (system seed, salt) alone, so equal salts replay identical sessions
+// regardless of what other sessions are in flight. The engine is built
+// fresh per session; the only state it shares with its siblings is the
+// read-only tag population.
+func (s *System) sessionAt(salt uint64) *channel.Reader {
+	salt = xrand.Combine(s.seed, 0x5e55, salt)
 	var eng channel.Engine
 	switch {
 	case s.merged != nil:

@@ -25,8 +25,7 @@ type Inventory struct {
 // whether counting exactly or estimating is cheaper — BFCE's constant
 // 0.19 s beats inventory beyond a few dozen tags.
 func (s *System) Inventory() (Inventory, error) {
-	s.sessions++
-	res, err := inventory.Run(s.n, inventory.Config{}, s.seed^s.sessions)
+	res, err := inventory.Run(s.n, inventory.Config{}, s.seed^s.sessions.Add(1))
 	if err != nil {
 		return Inventory{}, err
 	}
