@@ -23,8 +23,8 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		run    = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		run     = flag.String("run", "", "comma-separated experiment ids (default: all)")
 		seed    = flag.Uint64("seed", experiment.DefaultOptions().Seed, "experiment seed")
 		trials  = flag.Int("trials", 0, "override per-point trials (0 = figure defaults)")
 		workers = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS; results identical either way)")

@@ -1,0 +1,79 @@
+// Command rfidlint runs the repository's domain static analyzers — the
+// machine-checked form of the simulator's determinism and concurrency
+// contracts (see internal/analysis).
+//
+// Usage:
+//
+//	rfidlint [-json] [-list] [packages]
+//
+// Packages are directory patterns as for the go tool ("./...", "internal/
+// fleet", ...); the default is ./... from the current directory. With
+// -json, findings are emitted as a JSON array for CI tooling. Exit status
+// is 0 when clean, 1 when findings were reported, 2 on a usage or load
+// error. Individual findings can be suppressed at the use site with a
+// "//lint:allow <analyzer> <reason>" comment.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rfidest/internal/analysis"
+)
+
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	diags, err := analysis.Lint(analysis.All(), flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rfidlint: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "rfidlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "rfidlint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

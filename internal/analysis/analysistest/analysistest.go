@@ -1,0 +1,100 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its findings against // want expectation comments, golden-file
+// style:
+//
+//	now := time.Now() // want `time\.Now reads the wall clock`
+//
+// Each want comment carries a regular expression (backquoted, or quoted
+// with Go escaping) that must match the message of a finding reported on
+// that line; every finding must in turn be claimed by a want. Multiple
+// want comments on one line expect multiple findings. Suppression is
+// exercised the same way: a line with a //lint:allow comment and no want
+// asserts the finding is filtered.
+//
+// The analyzer's AppliesTo scope is deliberately ignored (see
+// analysis.Check), so testdata packages can live under internal/analysis
+// regardless of which packages the analyzer covers in production.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rfidest/internal/analysis"
+)
+
+// wantRe matches one expectation: // want `regexp` or // want "regexp".
+var wantRe = regexp.MustCompile("// want (?:`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\")")
+
+// Run loads the package in dir (relative to the calling test), runs the
+// analyzer through the full pipeline (type-check, Run, suppression), and
+// diffs the findings against the package's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags, err := analysis.Check(a, pkg)
+	if err != nil {
+		t.Fatalf("check %s: %v", dir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	type expectation struct {
+		re   *regexp.Regexp
+		used bool
+	}
+	wants := make(map[key][]*expectation)
+	for file, src := range pkg.Src {
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				pattern := m[1]
+				if pattern == "" && m[2] != "" {
+					unquoted, err := strconv.Unquote(`"` + m[2] + `"`)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string: %v", file, i+1, err)
+					}
+					pattern = unquoted
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", file, i+1, pattern, err)
+				}
+				k := key{file, i + 1}
+				wants[k] = append(wants[k], &expectation{re: re})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s", d.Pos, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: no %s finding matched %q", k.file, k.line, a.Name, w.re)
+			}
+		}
+	}
+}

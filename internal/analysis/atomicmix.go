@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix flags struct fields that are accessed both through sync/atomic
+// functions and through plain reads, writes, or ++/-- anywhere in the same
+// package. Mixed access is exactly the PR-1 session-counter bug: the plain
+// access races with the atomic one, -race only catches it when the
+// schedule cooperates, and on weakly-ordered hardware the plain read can
+// observe a stale value forever. The fix is to make every access atomic —
+// ideally by giving the field an atomic.Uint64-style type, which makes the
+// mix unrepresentable.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "flag struct fields accessed both via sync/atomic and via plain read/write/++ in the same package " +
+		"(the session-counter bug class); make every access atomic or use an atomic.* typed field",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: find fields whose address feeds a sync/atomic call, and
+	// remember those selector nodes so pass 2 does not re-flag them.
+	atomicFields := make(map[*types.Var]bool)
+	inAtomicCall := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgName, funName := calleePackageFunc(pass.Info, call)
+			if pkgName == nil || pkgName.Imported().Path() != "sync/atomic" || !isAtomicOp(funName) {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := arg.(*ast.UnaryExpr)
+				if !ok || unary.Op.String() != "&" {
+					continue
+				}
+				sel, ok := unary.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if field := fieldOf(pass.Info, sel); field != nil {
+					atomicFields[field] = true
+					inAtomicCall[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other selection of those fields is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicCall[sel] {
+				return true
+			}
+			field := fieldOf(pass.Info, sel)
+			if field == nil || !atomicFields[field] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s is accessed with sync/atomic elsewhere in this package but plainly here; mixed access races — use atomic ops everywhere or an atomic.* typed field",
+				field.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicOp reports whether name is a sync/atomic read/write operation.
+func isAtomicOp(name string) bool {
+	for _, prefix := range []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf resolves a selector to the struct field it names, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok || !field.IsField() {
+		return nil
+	}
+	return field
+}

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rfidest/internal/analysis"
+	"rfidest/internal/analysis/analysistest"
+)
+
+func TestAtomicMixGolden(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicMix, "testdata/atomicmix")
+}
+
+func TestAtomicMixCoversEveryPackage(t *testing.T) {
+	if analysis.AtomicMix.AppliesTo != nil {
+		t.Fatal("atomicmix must cover every package: mixed atomic/plain access is never correct")
+	}
+}

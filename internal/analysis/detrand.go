@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// forbiddenRandImports are randomness sources that bypass internal/xrand
+// and therefore break the one-seed-pins-everything contract. math/rand's
+// convenience functions are not part of Go's reproducibility promise, and
+// crypto/rand is non-deterministic by design.
+var forbiddenRandImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// forbiddenTimeCalls are the wall-clock reads that make a simulation run
+// depend on when it executed rather than on its seed. time.Duration
+// arithmetic (internal/timing's air-time model) is fine — only sampling
+// the clock is forbidden.
+var forbiddenTimeCalls = map[string]bool{
+	"Now":   true,
+	"Since": true,
+}
+
+// DetRand enforces the determinism contract: inside the simulator, every
+// source of randomness flows through internal/xrand and nothing reads the
+// wall clock, so a single 64-bit seed pins an entire experiment.
+//
+// Covered packages are the module root and everything under internal/.
+// cmd/ and examples/ are allowlisted: CLIs legitimately time their own
+// execution and may seed from entropy. The one in-scope exception,
+// internal/fleet's wall-clock throughput reporting, is suppressed at the
+// use site with //lint:allow detrand so the exemption stays visible in
+// the source (see the internal/fleet package doc for the policy).
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid math/rand, crypto/rand and time.Now/time.Since in deterministic simulation packages; " +
+		"randomness must flow through internal/xrand so one seed pins an experiment",
+	AppliesTo: func(rel string) bool {
+		return !strings.HasPrefix(rel, "cmd/") && rel != "cmd" &&
+			!strings.HasPrefix(rel, "examples/") && rel != "examples"
+	},
+	Run: runDetRand,
+}
+
+func runDetRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if forbiddenRandImports[path] {
+				pass.Reportf(spec.Pos(),
+					"import %q is forbidden in deterministic simulation packages: draw randomness from rfidest/internal/xrand so one seed pins the run",
+					path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgName, funName := calleePackageFunc(pass.Info, call)
+			if pkgName == nil || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			if forbiddenTimeCalls[funName] {
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock and breaks determinism: simulated time must derive from the seed (deliberate wall-clock use needs a //lint:allow detrand comment)",
+					funName)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleePackageFunc resolves a call of the form pkg.Fn to the imported
+// package it names and the function name. It returns (nil, "") for
+// method calls, locals, and anything else.
+func calleePackageFunc(info *types.Info, call *ast.CallExpr) (*types.PkgName, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	pkgName, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return nil, ""
+	}
+	return pkgName, sel.Sel.Name
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point operands in estimator
+// and statistics code. Estimates, relative errors and probabilities are
+// the results of long float pipelines; exact equality on them is almost
+// always a latent bug (it silently depends on rounding), and the house
+// idiom is a math.Abs tolerance (see internal/stats). Tests are out of
+// scope: golden transcripts legitimately assert bit-identical floats.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "flag ==/!= between floating-point operands in estimator/stats code; " +
+		"compare with a math.Abs tolerance instead",
+	AppliesTo: func(rel string) bool {
+		switch rel {
+		case ".", "internal/estimators", "internal/stats", "internal/core", "internal/missing":
+			return true
+		}
+		return false
+	},
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.Info, cmp.X) && !isFloat(pass.Info, cmp.Y) {
+				return true
+			}
+			// A comparison folded at compile time cannot depend on
+			// runtime rounding.
+			if isConst(pass.Info, cmp.X) && isConst(pass.Info, cmp.Y) {
+				return true
+			}
+			pass.Reportf(cmp.Pos(),
+				"floating-point %s comparison depends on rounding; use a math.Abs tolerance (or math.IsNaN for NaN checks)",
+				cmp.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	return info.Types[e].Value != nil
+}

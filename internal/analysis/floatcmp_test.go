@@ -1,0 +1,30 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rfidest/internal/analysis"
+	"rfidest/internal/analysis/analysistest"
+)
+
+func TestFloatCmpGolden(t *testing.T) {
+	analysistest.Run(t, analysis.FloatCmp, "testdata/floatcmp")
+}
+
+func TestFloatCmpScope(t *testing.T) {
+	for rel, covered := range map[string]bool{
+		".":                   true,
+		"internal/estimators": true,
+		"internal/stats":      true,
+		"internal/core":       true,
+		"internal/missing":    true,
+		"internal/channel":    false,
+		"internal/analysis":   false,
+		"cmd/experiments":     false,
+		"examples/quickstart": false,
+	} {
+		if got := analysis.FloatCmp.AppliesTo(rel); got != covered {
+			t.Errorf("floatcmp covers %q = %v, want %v", rel, got, covered)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rfidest/internal/analysis"
+)
+
+// TestRepositoryIsLintClean is the acceptance gate in test form: the full
+// analyzer registry over the whole module must report nothing. Every
+// deliberate exception in the tree carries a //lint:allow comment with a
+// reason; a failure here means a new contract violation (or an exception
+// that has not justified itself).
+func TestRepositoryIsLintClean(t *testing.T) {
+	diags, err := analysis.Lint(analysis.All(), []string{"../../..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestSeededViolationsAreExclusive runs the FULL registry over each
+// testdata package and asserts the seeded violations are reported by
+// exactly the analyzer the package targets — no cross-reports. (The
+// per-analyzer golden tests check the expected findings line by line;
+// this closes the other direction.)
+func TestSeededViolationsAreExclusive(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []string{"detrand", "atomicmix", "floatcmp", "seedlit"} {
+		pkg, err := loader.LoadDir("testdata/" + target)
+		if err != nil {
+			t.Fatalf("load testdata/%s: %v", target, err)
+		}
+		for _, a := range analysis.All() {
+			diags, err := analysis.Check(a, pkg)
+			if err != nil {
+				t.Fatalf("%s on testdata/%s: %v", a.Name, target, err)
+			}
+			if a.Name == target {
+				if len(diags) == 0 {
+					t.Errorf("%s reported nothing on its own testdata", a.Name)
+				}
+				continue
+			}
+			for _, d := range diags {
+				t.Errorf("%s cross-reported on testdata/%s: %s", a.Name, target, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package, ready for analysis.
+type Package struct {
+	Path  string // import path ("rfidest/internal/fleet")
+	Rel   string // module-relative path ("internal/fleet", "." for root)
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Src   map[string][]byte // filename -> source, for suppression scanning
+}
+
+// Loader parses and type-checks packages of one module. It implements
+// types.Importer with a two-way resolution rule: import paths under the
+// module path map to directories beneath go.mod, everything else resolves
+// from $GOROOT/src and is type-checked from source. That keeps the linter
+// free of golang.org/x/tools and of `go list` subprocesses while still
+// giving analyzers full types.Info.
+type Loader struct {
+	ModulePath string
+	ModuleDir  string
+
+	fset    *token.FileSet
+	ctxt    build.Context
+	imports map[string]*types.Package // memoized type-checked imports
+	loading map[string]bool           // cycle guard
+}
+
+// NewLoader finds the module containing dir (by walking up to go.mod) and
+// returns a Loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	// Type-check the pure-Go file set: the simulator has no cgo, and for
+	// the standard library the !cgo fallback files are the ones that
+	// type-check without a C toolchain.
+	ctxt.CgoEnabled = false
+	return &Loader{
+		ModulePath: modPath,
+		ModuleDir:  modDir,
+		fset:       token.NewFileSet(),
+		ctxt:       ctxt,
+		imports:    make(map[string]*types.Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module directory and module path.
+func findModule(dir string) (modDir, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					path := strings.TrimSpace(rest)
+					path = strings.Trim(path, `"`)
+					if path == "" {
+						break
+					}
+					return d, path, nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// rel converts a directory under the module to its module-relative path.
+func (l *Loader) rel(dir string) (string, error) {
+	r, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil {
+		return "", err
+	}
+	return filepath.ToSlash(r), nil
+}
+
+// importPathFor returns the import path of the package in dir.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	r, err := l.rel(dir)
+	if err != nil {
+		return "", err
+	}
+	if r == "." {
+		return l.ModulePath, nil
+	}
+	if strings.HasPrefix(r, "../") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.ModuleDir)
+	}
+	return l.ModulePath + "/" + r, nil
+}
+
+// dirFor maps an import path to its source directory.
+func (l *Loader) dirFor(path string) (string, error) {
+	if path == l.ModulePath {
+		return l.ModuleDir, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), nil
+	}
+	// Everything else must be standard library: the module is zero-dep.
+	return filepath.Join(runtime.GOROOT(), "src", filepath.FromSlash(path)), nil
+}
+
+// goFiles lists the buildable non-test Go files of dir for the current
+// platform (build constraints applied, cgo off).
+func (l *Loader) goFiles(dir string) ([]string, error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	files := append([]string(nil), bp.GoFiles...)
+	sort.Strings(files)
+	for i, f := range files {
+		files[i] = filepath.Join(dir, f)
+	}
+	return files, nil
+}
+
+// parseDir parses the buildable files of dir, returning their syntax and
+// raw source.
+func (l *Loader) parseDir(dir string, mode parser.Mode) ([]*ast.File, map[string][]byte, error) {
+	names, err := l.goFiles(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	files := make([]*ast.File, 0, len(names))
+	src := make(map[string][]byte, len(names))
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := parser.ParseFile(l.fset, name, data, mode)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		src[name] = data
+	}
+	return files, src, nil
+}
+
+// Import implements types.Importer. Imported packages are type-checked
+// from source (module-internal or $GOROOT/src) and memoized.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.imports[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, err := l.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	files, _, err := l.parseDir(dir, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: import %q: %v", path, err)
+	}
+	conf := types.Config{
+		Importer: l,
+		// Imported packages only need their exported shape; tolerate
+		// non-fatal issues so linting never depends on dependency hygiene.
+		Error: func(error) {},
+	}
+	pkg, err := conf.Check(path, l.fset, files, nil)
+	if err != nil && pkg == nil {
+		return nil, fmt.Errorf("analysis: type-check %q: %v", path, err)
+	}
+	l.imports[path] = pkg
+	return pkg, nil
+}
+
+// LoadDir parses and fully type-checks the package in dir, with the
+// complete types.Info analyzers need.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := l.importPathFor(abs)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := l.rel(abs)
+	if err != nil {
+		return nil, err
+	}
+	files, src, err := l.parseDir(abs, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("analysis: %s: %v", path, firstErr)
+	}
+	// Note: the freshly checked package must NOT replace an existing
+	// l.imports entry — dependents already type-checked against the
+	// memoized copy, and mixing the two identities makes identical types
+	// unassignable.
+	return &Package{
+		Path:  path,
+		Rel:   rel,
+		Dir:   abs,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+		Src:   src,
+	}, nil
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoaderFindsModule(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModulePath != "rfidest" {
+		t.Fatalf("module path = %q, want rfidest", l.ModulePath)
+	}
+	cwd, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel, err := filepath.Rel(l.ModuleDir, cwd); err != nil || strings.HasPrefix(rel, "..") {
+		t.Fatalf("module dir %q does not contain cwd %q", l.ModuleDir, cwd)
+	}
+}
+
+func TestLoadDirTypeChecksRootPackage(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(l.ModuleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Path != "rfidest" || pkg.Rel != "." {
+		t.Fatalf("root package path=%q rel=%q", pkg.Path, pkg.Rel)
+	}
+	if len(pkg.Files) == 0 || pkg.Types == nil || pkg.Info == nil {
+		t.Fatal("root package loaded without syntax or types")
+	}
+	// The root package pulls in module-internal and stdlib imports alike;
+	// both must resolve through the same source importer.
+	for _, dep := range []string{"rfidest/internal/channel", "sort"} {
+		if _, err := l.Import(dep); err != nil {
+			t.Fatalf("import %s: %v", dep, err)
+		}
+	}
+}
+
+func TestLoadDirSharesImportIdentity(t *testing.T) {
+	// Loading a package for linting must not replace the memoized import
+	// other packages type-checked against (the *channel.Reader identity
+	// bug): dependents loaded afterwards still have to type-check.
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadDir(l.ModuleDir); err != nil { // imports internal/channel et al.
+		t.Fatal(err)
+	}
+	if _, err := l.LoadDir(filepath.Join(l.ModuleDir, "internal/channel")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadDir(filepath.Join(l.ModuleDir, "internal/experiment")); err != nil {
+		t.Fatalf("dependent package broken by relint of its dependency: %v", err)
+	}
+}
+
+func TestExpandPatternsSkipsTestdata(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := expandPatterns([]string{l.ModuleDir + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawAnalysis bool
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Fatalf("pattern expansion must skip testdata, got %s", d)
+		}
+		if strings.HasSuffix(d, "internal/analysis") {
+			sawAnalysis = true
+		}
+	}
+	if !sawAnalysis {
+		t.Fatal("expected internal/analysis itself among expanded dirs")
+	}
+	if len(dirs) < 15 {
+		t.Fatalf("suspiciously few package dirs: %d (%v)", len(dirs), dirs)
+	}
+}

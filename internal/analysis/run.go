@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"go/build"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Lint expands the go-style patterns (a directory, or dir/... for a
+// recursive walk), loads each matched package, and runs every registered
+// analyzer whose scope covers it. Findings come back suppressed, merged
+// and position-sorted.
+func Lint(analyzers []*Analyzer, patterns []string) ([]Diagnostic, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			return diags, err
+		}
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Rel) {
+				continue
+			}
+			ds, err := Check(a, pkg)
+			if err != nil {
+				return diags, err
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// expandPatterns resolves patterns to package directories. Like the go
+// tool, the recursive form skips testdata, vendor, and dot/underscore
+// directories, and only keeps directories holding buildable Go files.
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := strings.CutSuffix(pat, "...")
+		root = strings.TrimSuffix(root, "/")
+		if root == "" {
+			root = "."
+		}
+		if !recursive {
+			if !hasBuildableGoFiles(root) {
+				return nil, fmt.Errorf("no buildable Go files in %s", root)
+			}
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if name := d.Name(); path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasBuildableGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasBuildableGoFiles reports whether dir holds a non-test Go package for
+// the current platform.
+func hasBuildableGoFiles(dir string) bool {
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return false
+	}
+	bp, err := build.Default.ImportDir(dir, 0)
+	return err == nil && len(bp.GoFiles) > 0
+}

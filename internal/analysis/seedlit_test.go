@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rfidest/internal/analysis"
+	"rfidest/internal/analysis/analysistest"
+)
+
+func TestSeedLitGolden(t *testing.T) {
+	analysistest.Run(t, analysis.SeedLit, "testdata/seedlit")
+}
+
+func TestSeedLitScope(t *testing.T) {
+	for rel, covered := range map[string]bool{
+		".":                   true,
+		"internal/experiment": true,
+		"internal/xrand":      true,
+		"cmd/rfidfleet":       true, // CLIs must thread their -seed flag through
+		"examples":            false,
+		"examples/quickstart": false,
+	} {
+		if got := analysis.SeedLit.AppliesTo(rel); got != covered {
+			t.Errorf("seedlit covers %q = %v, want %v", rel, got, covered)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Suppression comments have the form
+//
+//	//lint:allow <name>[,<name>...] <reason>
+//
+// A trailing comment suppresses matching findings on its own line; a
+// comment alone on a line suppresses findings on the line below it. The
+// reason is free text and should say why the exception is sound — the
+// point of in-source suppression is that every exception stays visible
+// (and reviewable) at the use site.
+const allowPrefix = "lint:allow"
+
+// suppressions maps filename -> line -> analyzer names allowed there.
+type suppressions map[string]map[int]map[string]bool
+
+// suppressionsFor scans a package's comments for //lint:allow directives.
+func suppressionsFor(pkg *Package) suppressions {
+	sup := make(suppressions)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+allowPrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				line := pos.Line
+				if standalone(pkg.Src[pos.Filename], pos.Offset) {
+					line = pkg.Fset.Position(c.End()).Line + 1
+				}
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					sup[pos.Filename] = byLine
+				}
+				names := byLine[line]
+				if names == nil {
+					names = make(map[string]bool)
+					byLine[line] = names
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if name != "" {
+						names[name] = true
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// standalone reports whether the comment starting at offset is the first
+// non-blank content on its source line.
+func standalone(src []byte, offset int) bool {
+	for i := offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return true
+		case ' ', '\t', '\r':
+			// keep scanning
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// filterSuppressed drops findings covered by a matching //lint:allow.
+func filterSuppressed(diags []Diagnostic, sup suppressions) []Diagnostic {
+	if len(sup) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if sup[d.Pos.Filename][d.Pos.Line][d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+func TestStandalone(t *testing.T) {
+	src := []byte("x := 1 // trailing\n\t//lint:allow detrand reason\n")
+	trailing := 7 // offset of "//" after "x := 1 "
+	alone := 20   // offset of "//" after "\n\t"
+	if standalone(src, trailing) {
+		t.Error("comment after code classified as standalone")
+	}
+	if !standalone(src, alone) {
+		t.Error("indented comment-only line not classified as standalone")
+	}
+	if !standalone(src, 0) {
+		t.Error("comment at start of file not classified as standalone")
+	}
+}
+
+func TestFilterSuppressed(t *testing.T) {
+	diag := func(file string, line int, analyzer string) Diagnostic {
+		return Diagnostic{Pos: token.Position{Filename: file, Line: line}, Analyzer: analyzer}
+	}
+	sup := suppressions{
+		"a.go": {10: {"detrand": true}},
+	}
+	in := []Diagnostic{
+		diag("a.go", 10, "detrand"), // suppressed
+		diag("a.go", 10, "seedlit"), // other analyzer: kept
+		diag("a.go", 11, "detrand"), // other line: kept
+		diag("b.go", 10, "detrand"), // other file: kept
+	}
+	out := filterSuppressed(in, sup)
+	if len(out) != 3 {
+		t.Fatalf("kept %d diagnostics, want 3: %v", len(out), out)
+	}
+	for _, d := range out {
+		if d.Pos.Filename == "a.go" && d.Pos.Line == 10 && d.Analyzer == "detrand" {
+			t.Fatal("suppressed diagnostic survived")
+		}
+	}
+}

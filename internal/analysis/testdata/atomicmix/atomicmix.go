@@ -1,0 +1,47 @@
+// Package atomicmixtest reproduces the PR-1 session-counter bug shape for
+// the atomicmix golden test: a counter advanced atomically on the hot
+// path but read and reset plainly elsewhere in the same package.
+package atomicmixtest
+
+import "sync/atomic"
+
+type sessionCounter struct {
+	sessions uint64 // accessed both ways below: every plain use is flagged
+	resets   uint64 // plain-only: never flagged
+	name     string
+}
+
+// next is the hot path: atomic advance, never flagged.
+func (c *sessionCounter) next() uint64 {
+	return atomic.AddUint64(&c.sessions, 1)
+}
+
+// snapshot is the bug: a plain read racing with next.
+func (c *sessionCounter) snapshot() uint64 {
+	return c.sessions // want `field sessions is accessed with sync/atomic elsewhere in this package but plainly here`
+}
+
+// reset mixes a plain write of the atomic field with a plain-only field.
+func (c *sessionCounter) reset() {
+	c.sessions = 0 // want `field sessions is accessed with sync/atomic`
+	c.resets++
+}
+
+// bump is the ++ form of the same race.
+func (c *sessionCounter) bump() {
+	c.sessions++ // want `field sessions is accessed with sync/atomic`
+}
+
+// loadOK reads the field atomically: consistent access, never flagged.
+func (c *sessionCounter) loadOK() uint64 {
+	return atomic.LoadUint64(&c.sessions)
+}
+
+// label touches only non-atomic fields: never flagged.
+func (c *sessionCounter) label() string { return c.name }
+
+// peek is a deliberately suppressed plain read (e.g. a single-threaded
+// constructor path) — the suppression must silence the finding.
+func (c *sessionCounter) peek() uint64 {
+	return c.sessions //lint:allow atomicmix golden-test fixture for suppression
+}

@@ -1,0 +1,45 @@
+// Package detrandtest seeds deliberate determinism violations for the
+// detrand golden test: forbidden randomness imports, wall-clock reads,
+// and the sanctioned //lint:allow escape hatch.
+package detrandtest
+
+import (
+	crand "crypto/rand" // want `import "crypto/rand" is forbidden in deterministic simulation packages`
+	"math/rand"         // want `import "math/rand" is forbidden in deterministic simulation packages`
+	"time"
+)
+
+// frameDeadline reads the wall clock twice; both reads are violations.
+func frameDeadline() time.Time {
+	start := time.Now()          // want `time\.Now reads the wall clock and breaks determinism`
+	elapsed := time.Since(start) // want `time\.Since reads the wall clock and breaks determinism`
+	return start.Add(-elapsed)
+}
+
+// entropySeed uses both forbidden randomness sources (flagged at the
+// imports above, not per call site).
+func entropySeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return rand.Int63()
+	}
+	return int64(b[0])
+}
+
+// reportStamp is the sanctioned escape hatch: a trailing, reasoned
+// suppression keeps the wall-clock read visible but unflagged.
+func reportStamp() time.Time {
+	return time.Now() //lint:allow detrand golden-test fixture for trailing suppression
+}
+
+// reportStampAbove exercises the standalone (line-above) suppression form.
+func reportStampAbove() time.Time {
+	//lint:allow detrand golden-test fixture for standalone suppression
+	return time.Now()
+}
+
+// durationMathOK uses time.Duration arithmetic, which never reads the
+// clock and is allowed (the air-time model depends on it).
+func durationMathOK(slots int) time.Duration {
+	return time.Duration(slots) * 300 * time.Microsecond
+}

@@ -1,0 +1,46 @@
+// Package floatcmptest seeds floating-point equality comparisons for the
+// floatcmp golden test, alongside the integer and constant-folded forms
+// that must stay silent.
+package floatcmptest
+
+type reading struct {
+	estimate float64
+	slots    int
+}
+
+// converged compares two float pipeline results exactly: flagged.
+func converged(prev, cur float64) bool {
+	return prev == cur // want `floating-point == comparison depends on rounding`
+}
+
+// drifted is the != form, with one operand a struct field.
+func drifted(r reading, target float64) bool {
+	return r.estimate != target // want `floating-point != comparison depends on rounding`
+}
+
+// nanCheck is the x != x NaN idiom — still flagged; math.IsNaN is the
+// readable spelling.
+func nanCheck(x float64) bool {
+	return x != x // want `floating-point != comparison`
+}
+
+// typedFloat shows that named types with a float underlying kind are
+// still caught.
+type probability float64
+
+func certain(p probability) bool {
+	return p == 1 // want `floating-point == comparison`
+}
+
+// intSlots compares integers: never flagged.
+func intSlots(a, b reading) bool { return a.slots == b.slots }
+
+// constFolded is decided at compile time, independent of rounding mode:
+// never flagged.
+func constFolded() bool { return 1.0 == 2.0 }
+
+// zeroSentinel is the sanctioned exception — an exact zero-value check on
+// a field no arithmetic feeds — kept visible with a reasoned suppression.
+func zeroSentinel(x float64) bool {
+	return x == 0 //lint:allow floatcmp golden-test fixture: unset-field sentinel
+}

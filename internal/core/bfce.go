@@ -54,13 +54,13 @@ func (c Config) Normalize() (Config, error) {
 	if c.K == 0 {
 		c.K = def.K
 	}
-	if c.C == 0 {
+	if c.C == 0 { //lint:allow floatcmp exact zero-value check for an unset field; no arithmetic feeds it
 		c.C = def.C
 	}
-	if c.Epsilon == 0 {
+	if c.Epsilon == 0 { //lint:allow floatcmp exact zero-value check for an unset field; no arithmetic feeds it
 		c.Epsilon = def.Epsilon
 	}
-	if c.Delta == 0 {
+	if c.Delta == 0 { //lint:allow floatcmp exact zero-value check for an unset field; no arithmetic feeds it
 		c.Delta = def.Delta
 	}
 	if c.PDenom == 0 {

@@ -108,7 +108,7 @@ func AblationHashMode(o Options) *Table {
 		for _, d := range tags.Distributions {
 			sum := 0.0
 			for trial := 0; trial < trials; trial++ {
-				r := o.tagSession(200000, d, mode, xrand.Combine(0xa5, uint64(trial)))
+				r := o.tagSession(200000, d, mode, xrand.Combine(o.Seed, 0xa5, uint64(trial)))
 				res, err := est.Estimate(r)
 				if err != nil {
 					panic(err) // unreachable: session is non-nil by construction
