@@ -19,41 +19,10 @@ import (
 	"rfidest/internal/tags"
 )
 
-func buildEstimator(name string) estimators.Estimator {
-	switch name {
-	case "BFCE":
-		return estimators.NewBFCE()
-	case "BFCE-multi":
-		return estimators.NewBFCEMulti()
-	case "ZOE":
-		return estimators.NewZOE()
-	case "ZOE-batched":
-		return estimators.NewZOEBatched()
-	case "SRC":
-		return estimators.NewSRC()
-	case "LOF":
-		return estimators.NewLOF()
-	case "UPE":
-		return estimators.NewUPE()
-	case "EZB":
-		return estimators.NewEZB()
-	case "FNEB":
-		return estimators.NewFNEB()
-	case "MLE":
-		return estimators.NewMLE()
-	case "ART":
-		return estimators.NewART()
-	case "PET":
-		return estimators.NewPET()
-	default:
-		return nil
-	}
-}
-
 func main() {
 	var (
 		n         = flag.Int("n", 100000, "true tag cardinality to simulate")
-		name      = flag.String("estimator", "BFCE", "protocol to trace")
+		name      = flag.String("estimator", "BFCE", "protocol to trace: "+strings.Join(estimators.Names(), " | "))
 		eps       = flag.Float64("eps", 0.05, "confidence interval epsilon")
 		delta     = flag.Float64("delta", 0.05, "error probability delta")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
@@ -61,9 +30,10 @@ func main() {
 	)
 	flag.Parse()
 
-	est := buildEstimator(*name)
+	est := estimators.New(*name)
 	if est == nil {
-		fmt.Fprintf(os.Stderr, "rfidtrace: unknown estimator %q\n", *name)
+		fmt.Fprintf(os.Stderr, "rfidtrace: unknown estimator %q (known: %s)\n",
+			*name, strings.Join(estimators.Names(), ", "))
 		os.Exit(2)
 	}
 

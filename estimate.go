@@ -2,7 +2,6 @@ package rfidest
 
 import (
 	"fmt"
-	"sort"
 
 	"rfidest/internal/channel"
 	"rfidest/internal/core"
@@ -52,30 +51,10 @@ func (s *System) EstimateBFCE(epsilon, delta float64) (Estimate, error) {
 	return s.EstimateWith("BFCE", epsilon, delta)
 }
 
-// registry maps protocol names to fresh estimator instances.
-var registry = map[string]func() estimators.Estimator{
-	"BFCE":        func() estimators.Estimator { return estimators.NewBFCE() },
-	"BFCE-multi":  func() estimators.Estimator { return estimators.NewBFCEMulti() },
-	"ZOE":         func() estimators.Estimator { return estimators.NewZOE() },
-	"ZOE-batched": func() estimators.Estimator { return estimators.NewZOEBatched() },
-	"SRC":         func() estimators.Estimator { return estimators.NewSRC() },
-	"LOF":         func() estimators.Estimator { return estimators.NewLOF() },
-	"UPE":         func() estimators.Estimator { return estimators.NewUPE() },
-	"EZB":         func() estimators.Estimator { return estimators.NewEZB() },
-	"FNEB":        func() estimators.Estimator { return estimators.NewFNEB() },
-	"MLE":         func() estimators.Estimator { return estimators.NewMLE() },
-	"ART":         func() estimators.Estimator { return estimators.NewART() },
-	"PET":         func() estimators.Estimator { return estimators.NewPET() },
-}
-
-// Estimators returns the names accepted by EstimateWith, sorted.
+// Estimators returns the names accepted by EstimateWith, sorted. The set
+// is defined once, in the estimators package registry.
 func Estimators() []string {
-	names := make([]string, 0, len(registry))
-	for name := range registry {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
+	return estimators.Names()
 }
 
 // EstimateWith runs the named protocol (see Estimators) to the (ε, δ)
@@ -101,21 +80,21 @@ func (s *System) EstimateWithSalt(name string, epsilon, delta float64, salt uint
 // estimateOn validates parameters, opens a session via open and runs the
 // named protocol over it.
 func (s *System) estimateOn(open func() *channel.Reader, name string, epsilon, delta float64) (Estimate, error) {
-	mk, ok := registry[name]
-	if !ok {
+	est := estimators.New(name)
+	if est == nil {
 		return Estimate{}, fmt.Errorf("rfidest: unknown estimator %q (known: %v)", name, Estimators())
 	}
 	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
 		return Estimate{}, fmt.Errorf("rfidest: epsilon and delta must be in (0, 1), got (%v, %v)", epsilon, delta)
 	}
 	session := open()
-	res, err := mk().Estimate(session, estimators.Accuracy{Epsilon: epsilon, Delta: delta})
+	res, err := est.Estimate(session, estimators.Accuracy{Epsilon: epsilon, Delta: delta})
 	if err != nil {
 		return Estimate{}, err
 	}
-	est := fromResult(res)
-	est.TagTransmissions = session.TagTransmissions()
-	return est, nil
+	out := fromResult(res)
+	out.TagTransmissions = session.TagTransmissions()
+	return out, nil
 }
 
 // BFCEDetail runs BFCE and returns the protocol's internal diagnostics

@@ -1,0 +1,10 @@
+package boolframetest
+
+// This file exercises the reference.go carve-out: it is full of []bool
+// and must produce no findings.
+
+type refFrame []bool
+
+func refRun(w int) refFrame {
+	return make([]bool, w)
+}

@@ -123,6 +123,129 @@ func (s *Set) OrCount(o *Set) int {
 	return c
 }
 
+// Xor sets s to s XOR o, in place, and returns s.
+func (s *Set) Xor(o *Set) *Set {
+	s.sameLen(o)
+	for i := range s.words {
+		s.words[i] ^= o.words[i]
+	}
+	return s
+}
+
+// Not flips every bit of s in place and returns s. Bits beyond Len stay
+// zero, so counts over the complement remain exact.
+func (s *Set) Not() *Set {
+	for i := range s.words {
+		s.words[i] = ^s.words[i]
+	}
+	s.maskTail()
+	return s
+}
+
+// maskTail clears the unused high bits of the last word, restoring the
+// invariant that bits at positions >= n are zero.
+func (s *Set) maskTail() {
+	if tail := uint(s.n & 63); tail != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << tail) - 1
+	}
+}
+
+// Words returns the number of 64-bit words backing the Set.
+func (s *Set) Words() int { return len(s.words) }
+
+// Word returns backing word i (bits 64i .. 64i+63).
+func (s *Set) Word(i int) uint64 { return s.words[i] }
+
+// XorWord XORs mask into backing word i. Mask bits at positions >= Len are
+// ignored, preserving the tail invariant.
+func (s *Set) XorWord(i int, mask uint64) {
+	s.words[i] ^= mask
+	if i == len(s.words)-1 {
+		s.maskTail()
+	}
+}
+
+// Truncate shortens the Set in place to its first n bits. It panics if n
+// exceeds the current length.
+func (s *Set) Truncate(n int) *Set {
+	if n < 0 || n > s.n {
+		panic(fmt.Sprintf("bitset: truncate to %d out of [0, %d]", n, s.n))
+	}
+	s.n = n
+	s.words = s.words[:(n+63)/64]
+	s.maskTail()
+	return s
+}
+
+// FirstSet returns the index of the lowest set bit, or -1 if none: the
+// word-at-a-time equivalent of scanning for the first 1.
+func (s *Set) FirstSet() int {
+	for i, w := range s.words {
+		if w != 0 {
+			return i<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// FirstClear returns the index of the lowest clear bit, or -1 if every bit
+// is set.
+func (s *Set) FirstClear() int {
+	for i, w := range s.words {
+		if w != ^uint64(0) {
+			pos := i<<6 + bits.TrailingZeros64(^w)
+			if pos >= s.n {
+				return -1 // clear bit lies in the masked tail
+			}
+			return pos
+		}
+	}
+	return -1
+}
+
+// Runs returns the lengths of the maximal runs of consecutive set bits, in
+// position order. It scans word-at-a-time, peeling alternating zero and one
+// groups with TrailingZeros64 instead of testing single bits; the tail
+// invariant (bits at positions >= n are zero) lets it treat every word as a
+// full 64 bits, since trailing zeros only ever terminate a run.
+func (s *Set) Runs() []int {
+	// Exact-size prepass: a run starts at each 1-bit whose predecessor
+	// (carrying across word boundaries) is 0.
+	count, carry := 0, uint64(0)
+	for _, w := range s.words {
+		count += bits.OnesCount64(w &^ (w<<1 | carry))
+		carry = w >> 63
+	}
+	if count == 0 {
+		return nil
+	}
+	runs := make([]int, 0, count)
+	cur := 0
+	for _, w := range s.words {
+		ends := w>>63 == 1 // a run crossing into the next word must not flush
+		for w != 0 {
+			if z := bits.TrailingZeros64(w); z > 0 {
+				if cur > 0 {
+					runs = append(runs, cur)
+					cur = 0
+				}
+				w >>= uint(z)
+			}
+			o := bits.TrailingZeros64(^w)
+			cur += o
+			w >>= uint(o) // o == 64 (all-ones word) shifts to 0 in Go
+		}
+		if !ends && cur > 0 {
+			runs = append(runs, cur)
+			cur = 0
+		}
+	}
+	if cur > 0 {
+		runs = append(runs, cur)
+	}
+	return runs
+}
+
 // Equal reports whether s and o have identical length and bits.
 func (s *Set) Equal(o *Set) bool {
 	if s.n != o.n {

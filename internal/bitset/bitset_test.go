@@ -142,6 +142,177 @@ func TestBoolsRoundTrip(t *testing.T) {
 	}
 }
 
+// refFirstSet/refFirstClear/refRuns are the obvious per-bit references the
+// word-at-a-time implementations are checked against.
+func refFirstSet(raw []bool) int {
+	for i, v := range raw {
+		if v {
+			return i
+		}
+	}
+	return -1
+}
+
+func refFirstClear(raw []bool) int {
+	for i, v := range raw {
+		if !v {
+			return i
+		}
+	}
+	return -1
+}
+
+func refRuns(raw []bool) []int {
+	var runs []int
+	cur := 0
+	for _, v := range raw {
+		if v {
+			cur++
+		} else if cur > 0 {
+			runs = append(runs, cur)
+			cur = 0
+		}
+	}
+	if cur > 0 {
+		runs = append(runs, cur)
+	}
+	return runs
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFirstSetFirstClearRunsProperty(t *testing.T) {
+	f := func(raw []bool) bool {
+		s := FromBools(raw)
+		return s.FirstSet() == refFirstSet(raw) &&
+			s.FirstClear() == refFirstClear(raw) &&
+			equalInts(s.Runs(), refRuns(raw))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstSetClearEdges(t *testing.T) {
+	if New(0).FirstSet() != -1 || New(0).FirstClear() != -1 {
+		t.Fatal("empty set must report -1 for both scans")
+	}
+	// All set, including a full last word and a partial one.
+	for _, n := range []int{1, 63, 64, 65, 128, 130} {
+		s := New(n)
+		for i := 0; i < n; i++ {
+			s.Set1(i)
+		}
+		if s.FirstClear() != -1 {
+			t.Fatalf("n=%d: all-set FirstClear = %d", n, s.FirstClear())
+		}
+		if s.FirstSet() != 0 {
+			t.Fatalf("n=%d: all-set FirstSet = %d", n, s.FirstSet())
+		}
+		if got := s.Runs(); !equalInts(got, []int{n}) {
+			t.Fatalf("n=%d: all-set Runs = %v", n, got)
+		}
+	}
+	// A lone set bit at a word boundary.
+	s := New(130)
+	s.Set1(64)
+	if s.FirstSet() != 64 {
+		t.Fatalf("FirstSet = %d", s.FirstSet())
+	}
+	if !equalInts(s.Runs(), []int{1}) {
+		t.Fatalf("Runs = %v", s.Runs())
+	}
+}
+
+func TestRunsAcrossWordBoundary(t *testing.T) {
+	s := New(200)
+	for i := 60; i < 70; i++ { // run spanning words 0 and 1
+		s.Set1(i)
+	}
+	for i := 127; i < 129; i++ { // run spanning words 1 and 2
+		s.Set1(i)
+	}
+	s.Set1(199) // trailing run at the very end
+	if got := s.Runs(); !equalInts(got, []int{10, 2, 1}) {
+		t.Fatalf("Runs = %v", got)
+	}
+}
+
+func TestNotMasksTail(t *testing.T) {
+	s := New(70)
+	s.Set1(3)
+	s.Not()
+	if s.Count() != 69 {
+		t.Fatalf("Not Count = %d", s.Count())
+	}
+	if s.Get(3) || !s.Get(69) {
+		t.Fatal("Not flipped bits wrong")
+	}
+	// Double complement is the identity.
+	want := New(70)
+	want.Set1(3)
+	if !s.Not().Equal(want) {
+		t.Fatal("double Not is not the identity")
+	}
+}
+
+func TestXorAndXorWord(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set1(1)
+	a.Set1(70)
+	b.Set1(70)
+	b.Set1(99)
+	a.Xor(b)
+	want := New(100)
+	want.Set1(1)
+	want.Set1(99)
+	if !a.Equal(want) {
+		t.Fatal("Xor wrong")
+	}
+	// XorWord ignores mask bits beyond Len.
+	s := New(70)
+	s.XorWord(1, ^uint64(0))
+	if s.Count() != 6 {
+		t.Fatalf("XorWord leaked past Len: Count = %d", s.Count())
+	}
+	for i := 64; i < 70; i++ {
+		if !s.Get(i) {
+			t.Fatalf("bit %d not flipped", i)
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	s := New(130)
+	for i := 0; i < 130; i++ {
+		s.Set1(i)
+	}
+	s.Truncate(65)
+	if s.Len() != 65 || s.Count() != 65 {
+		t.Fatalf("Truncate: len=%d count=%d", s.Len(), s.Count())
+	}
+	s.Truncate(64)
+	if s.Count() != 64 || s.Words() != 1 {
+		t.Fatalf("Truncate to word edge: count=%d words=%d", s.Count(), s.Words())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("growing Truncate did not panic")
+		}
+	}()
+	s.Truncate(65)
+}
+
 func TestDeMorganProperty(t *testing.T) {
 	// |a OR b| + |a AND b| == |a| + |b| for any equal-length sets.
 	f := func(x, y []bool) bool {

@@ -30,10 +30,8 @@ func TestCaptureInvisibleToBitSlots(t *testing.T) {
 	req := FrameRequest{W: 512, K: 2, P: 0.5, Seed: 3}
 	a := inner.RunFrame(req)
 	b := e.RunFrame(req)
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatal("capture altered a bit-slot frame")
-		}
+	if !a.Equal(b) {
+		t.Fatal("capture altered a bit-slot frame")
 	}
 	if e.FirstResponse(req, 512) != inner.FirstResponse(req, 512) {
 		t.Fatal("capture altered first-response scans")

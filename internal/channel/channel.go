@@ -24,7 +24,11 @@
 // "overall execution time" metric is produced.
 package channel
 
-import "fmt"
+import (
+	"fmt"
+
+	"rfidest/internal/bitset"
+)
 
 // SlotDist selects how a tag's hash maps to a slot index.
 type SlotDist int
@@ -68,60 +72,132 @@ func (req FrameRequest) validate() (observe int) {
 	return observe
 }
 
-// BitVec is the reader-side view of a frame: Busy[i] reports whether slot i
+// BitVec is the reader-side view of a frame: Get(i) reports whether slot i
 // was busy. (The paper's B stores the complement — B(i)=1 for idle — but
 // busy/idle is the physical observation; estimators convert as needed.)
-type BitVec []bool
+//
+// The representation is word-packed (internal/bitset, bit i set ⟺ slot i
+// busy): 64 slots per uint64 word, so the aggregate queries every estimator
+// hangs off a frame — CountBusy, RhoIdle, FirstBusy, Runs — run one
+// popcount or TrailingZeros64 per word instead of one branch per slot. The
+// pre-packing []bool semantics are retained bit-for-bit; reference.go keeps
+// the original implementation for cross-checking tests and benchmarks.
+//
+// The zero BitVec is an empty (zero-slot) frame. Construct real frames
+// with NewBitVec or FromBools.
+type BitVec struct {
+	bits *bitset.Set // bit i set ⟺ slot i busy; nil for the zero value
+}
 
-// CountBusy returns the number of busy slots.
-func (b BitVec) CountBusy() int {
-	n := 0
-	for _, busy := range b {
-		if busy {
-			n++
-		}
+// NewBitVec returns an all-idle frame of n slots.
+func NewBitVec(n int) BitVec { return BitVec{bits: bitset.New(n)} }
+
+// FromBools packs a busy/idle bool slice into a BitVec.
+func FromBools(busy []bool) BitVec { //lint:allow boolframe conversion bridge from the reference []bool representation
+	return BitVec{bits: bitset.FromBools(busy)}
+}
+
+// Bools unpacks the frame into the reference busy/idle bool slice.
+func (b BitVec) Bools() []bool { //lint:allow boolframe conversion bridge to the reference []bool representation
+	if b.bits == nil {
+		return nil
 	}
-	return n
+	return b.bits.Bools()
+}
+
+// Len returns the number of observed slots.
+func (b BitVec) Len() int {
+	if b.bits == nil {
+		return 0
+	}
+	return b.bits.Len()
+}
+
+// Get reports whether slot i was busy.
+func (b BitVec) Get(i int) bool { return b.bits.Get(i) }
+
+// setBusy marks slot i busy (engine-side scatter).
+func (b BitVec) setBusy(i int) { b.bits.Set1(i) }
+
+// truncate shortens the frame in place to its first n slots (the observed
+// prefix of a larger announced frame).
+func (b BitVec) truncate(n int) BitVec {
+	b.bits.Truncate(n)
+	return b
+}
+
+// or merges another reader's observation of the same frame into b — the
+// multi-reader back-end OR, one word at a time.
+func (b BitVec) or(o BitVec) BitVec {
+	b.bits.Or(o.bits)
+	return b
+}
+
+// Equal reports whether two frames have identical length and slots.
+func (b BitVec) Equal(o BitVec) bool {
+	if b.bits == nil || o.bits == nil {
+		return b.Len() == o.Len()
+	}
+	return b.bits.Equal(o.bits)
+}
+
+// CountBusy returns the number of busy slots (one popcount per word).
+func (b BitVec) CountBusy() int {
+	if b.bits == nil {
+		return 0
+	}
+	return b.bits.Count()
 }
 
 // CountIdle returns the number of idle slots.
-func (b BitVec) CountIdle() int { return len(b) - b.CountBusy() }
+func (b BitVec) CountIdle() int { return b.Len() - b.CountBusy() }
 
 // RhoIdle returns the fraction of idle slots — the paper's ρ̄, the mean of
 // the Bloom vector B whose bits are 1 for idle slots.
 func (b BitVec) RhoIdle() float64 {
-	if len(b) == 0 {
+	if b.Len() == 0 {
 		return 0
 	}
-	return float64(b.CountIdle()) / float64(len(b))
+	return float64(b.CountIdle()) / float64(b.Len())
 }
 
 // FirstBusy returns the index of the first busy slot, or -1 if none.
 func (b BitVec) FirstBusy() int {
-	for i, busy := range b {
-		if busy {
-			return i
-		}
+	if b.bits == nil {
+		return -1
 	}
-	return -1
+	return b.bits.FirstSet()
+}
+
+// FirstIdle returns the index of the first idle slot — the number of
+// leading busy slots, which is the lottery-frame observation (LOF, PET). A
+// fully busy frame reports its length.
+func (b BitVec) FirstIdle() int {
+	if b.bits == nil {
+		return 0
+	}
+	if first := b.bits.FirstClear(); first >= 0 {
+		return first
+	}
+	return b.Len()
 }
 
 // Runs returns the lengths of maximal runs of busy slots (used by ART).
 func (b BitVec) Runs() []int {
-	var runs []int
-	cur := 0
-	for _, busy := range b {
-		if busy {
-			cur++
-		} else if cur > 0 {
-			runs = append(runs, cur)
-			cur = 0
-		}
+	if b.bits == nil {
+		return nil
 	}
-	if cur > 0 {
-		runs = append(runs, cur)
+	return b.bits.Runs()
+}
+
+// IdleSet returns the paper's Bloom vector B — bit i set ⟺ slot i idle —
+// as a fresh packed set (the complement of the busy bits). Snapshot
+// archives (core.Differ) store exactly this.
+func (b BitVec) IdleSet() *bitset.Set {
+	if b.bits == nil {
+		return bitset.New(0)
 	}
-	return runs
+	return b.bits.Clone().Not()
 }
 
 // Engine executes frames against a (real or synthetic) tag population.

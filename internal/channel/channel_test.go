@@ -9,7 +9,7 @@ import (
 )
 
 func TestBitVecCounts(t *testing.T) {
-	b := BitVec{true, false, true, true, false}
+	b := FromBools([]bool{true, false, true, true, false})
 	if b.CountBusy() != 3 || b.CountIdle() != 2 {
 		t.Fatalf("counts wrong: busy=%d idle=%d", b.CountBusy(), b.CountIdle())
 	}
@@ -19,13 +19,19 @@ func TestBitVecCounts(t *testing.T) {
 	if b.FirstBusy() != 0 {
 		t.Fatalf("FirstBusy = %d", b.FirstBusy())
 	}
+	if b.FirstIdle() != 1 {
+		t.Fatalf("FirstIdle = %d", b.FirstIdle())
+	}
 }
 
 func TestBitVecEmptyAndAllIdle(t *testing.T) {
 	if (BitVec{}).RhoIdle() != 0 {
 		t.Fatal("empty RhoIdle != 0")
 	}
-	b := BitVec{false, false}
+	if (BitVec{}).FirstBusy() != -1 || (BitVec{}).FirstIdle() != 0 {
+		t.Fatal("empty frame scan positions wrong")
+	}
+	b := FromBools([]bool{false, false})
 	if b.FirstBusy() != -1 {
 		t.Fatal("all-idle FirstBusy != -1")
 	}
@@ -34,21 +40,62 @@ func TestBitVecEmptyAndAllIdle(t *testing.T) {
 	}
 }
 
-func TestBitVecRuns(t *testing.T) {
-	b := BitVec{true, true, false, true, false, true, true, true}
-	runs := b.Runs()
-	want := []int{2, 1, 3}
-	if len(runs) != len(want) {
-		t.Fatalf("runs = %v", runs)
+// runsEqual compares run-length slices.
+func runsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	for i := range want {
-		if runs[i] != want[i] {
-			t.Fatalf("runs = %v, want %v", runs, want)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
 		}
 	}
-	if len(BitVec{false}.Runs()) != 0 {
+	return true
+}
+
+func TestBitVecRuns(t *testing.T) {
+	b := FromBools([]bool{true, true, false, true, false, true, true, true})
+	if runs := b.Runs(); !runsEqual(runs, []int{2, 1, 3}) {
+		t.Fatalf("runs = %v, want [2 1 3]", runs)
+	}
+	if len(FromBools([]bool{false}).Runs()) != 0 {
 		t.Fatal("idle-only frame must have no runs")
 	}
+}
+
+// TestBitVecRunsEdgeCases pins the trailing-run handling of Runs on both
+// the packed and the reference implementation: a run that extends to the
+// last slot must be emitted, an all-busy frame is one maximal run, and an
+// empty frame has none. (ART's run statistics depend on exactly this.)
+func TestBitVecRunsEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		bits []bool
+		want []int
+	}{
+		{"empty frame", nil, nil},
+		{"all busy", []bool{true, true, true, true}, []int{4}},
+		{"trailing busy run", []bool{false, true, false, false, true, true}, []int{1, 2}},
+		{"single trailing slot", []bool{false, false, true}, []int{1}},
+		{"all busy across words", allBusy(130), []int{130}},
+		{"trailing run across words", append(make([]bool, 60), allBusy(10)...), []int{10}},
+	}
+	for _, c := range cases {
+		if got := FromBools(c.bits).Runs(); !runsEqual(got, c.want) {
+			t.Errorf("%s: packed Runs = %v, want %v", c.name, got, c.want)
+		}
+		if got := refVec(c.bits).runs(); !runsEqual(got, c.want) {
+			t.Errorf("%s: reference runs = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func allBusy(n int) []bool {
+	b := make([]bool, n)
+	for i := range b {
+		b[i] = true
+	}
+	return b
 }
 
 func TestFrameRequestValidation(t *testing.T) {
@@ -181,20 +228,11 @@ func TestTagEngineDeterministicPerSeed(t *testing.T) {
 	req := FrameRequest{W: 256, K: 2, P: 0.5, Seed: 7}
 	a := e.RunFrame(req)
 	b := e.RunFrame(req)
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatal("same seed produced different frames")
-		}
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different frames")
 	}
 	req.Seed = 8
-	c := e.RunFrame(req)
-	diff := 0
-	for i := range a {
-		if a[i] != c[i] {
-			diff++
-		}
-	}
-	if diff == 0 {
+	if a.Equal(e.RunFrame(req)) {
 		t.Fatal("different seeds produced identical frames")
 	}
 }
@@ -206,10 +244,10 @@ func TestGeometricFrameShape(t *testing.T) {
 	pop := tags.Generate(1000, tags.T1, 4)
 	e := NewTagEngine(pop, IdealRN)
 	b := e.RunFrame(FrameRequest{W: 32, K: 1, P: 1, Dist: Geometric, Seed: 5})
-	if !b[0] || !b[1] {
+	if !b.Get(0) || !b.Get(1) {
 		t.Fatal("geometric frame: low slots must be busy for n=1000")
 	}
-	if b[31] {
+	if b.Get(31) {
 		t.Fatal("geometric frame: slot 31 busy is absurd for n=1000")
 	}
 }
@@ -218,8 +256,8 @@ func TestObserveTruncation(t *testing.T) {
 	pop := tags.Generate(1000, tags.T1, 6)
 	e := NewTagEngine(pop, IdealRN)
 	b := e.RunFrame(FrameRequest{W: 8192, K: 3, P: 0.5, Observe: 1024, Seed: 1})
-	if len(b) != 1024 {
-		t.Fatalf("observed %d slots, want 1024", len(b))
+	if b.Len() != 1024 {
+		t.Fatalf("observed %d slots, want 1024", b.Len())
 	}
 }
 

@@ -93,7 +93,7 @@ func TestReaderEnergyAccessor(t *testing.T) {
 
 type meterlessEngine struct{}
 
-func (meterlessEngine) RunFrame(FrameRequest) BitVec        { return BitVec{false} }
+func (meterlessEngine) RunFrame(FrameRequest) BitVec        { return FromBools([]bool{false}) }
 func (meterlessEngine) FirstResponse(FrameRequest, int) int { return -1 }
 func (meterlessEngine) Size() int                           { return 0 }
 

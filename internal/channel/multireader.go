@@ -51,12 +51,7 @@ func (e *MergedEngine) Size() int { return e.UnionSize }
 func (e *MergedEngine) RunFrame(req FrameRequest) BitVec {
 	merged := e.Readers[0].RunFrame(req)
 	for _, r := range e.Readers[1:] {
-		vec := r.RunFrame(req)
-		for i, busy := range vec {
-			if busy {
-				merged[i] = true
-			}
-		}
+		merged.or(r.RunFrame(req)) // back-end merge: one OR per word
 	}
 	return merged
 }

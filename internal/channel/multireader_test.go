@@ -24,10 +24,8 @@ func TestMergedEngineEqualsUnionDisjoint(t *testing.T) {
 	req := FrameRequest{W: 1024, K: 3, P: 0.3, Seed: 17}
 	a := whole.RunFrame(req)
 	b := merged.RunFrame(req)
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("slot %d differs between whole and merged views", i)
-		}
+	if !a.Equal(b) {
+		t.Fatal("whole and merged views differ")
 	}
 }
 
@@ -41,10 +39,8 @@ func TestMergedEngineEqualsUnionOverlapping(t *testing.T) {
 	req := FrameRequest{W: 1024, K: 3, P: 0.3, Seed: 19}
 	a := whole.RunFrame(req)
 	b := merged.RunFrame(req)
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("slot %d differs with overlapping coverage", i)
-		}
+	if !a.Equal(b) {
+		t.Fatal("whole and merged views differ with overlapping coverage")
 	}
 }
 

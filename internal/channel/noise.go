@@ -36,16 +36,30 @@ func NewNoisyEngine(inner Engine, falseBusy, falseIdle float64, seed uint64) *No
 func (e *NoisyEngine) Size() int { return e.Inner.Size() }
 
 // RunFrame implements Engine, flipping each observed slot with the
-// configured error rates.
+// configured error rates. Flip decisions are drawn per slot in index order
+// (one Bernoulli per slot, keeping the noise stream bit-compatible with the
+// reference implementation) and applied as one XOR mask per word.
 func (e *NoisyEngine) RunFrame(req FrameRequest) BitVec {
 	b := e.Inner.RunFrame(req)
-	for i, busy := range b {
-		if busy {
-			if e.rng.Bernoulli(e.FalseIdle) {
-				b[i] = false
+	n := b.Len()
+	for wi := 0; wi*64 < n; wi++ {
+		word := b.bits.Word(wi)
+		width := n - wi*64
+		if width > 64 {
+			width = 64
+		}
+		var flip uint64
+		for i := 0; i < width; i++ {
+			if word>>uint(i)&1 == 1 {
+				if e.rng.Bernoulli(e.FalseIdle) {
+					flip |= 1 << uint(i)
+				}
+			} else if e.rng.Bernoulli(e.FalseBusy) {
+				flip |= 1 << uint(i)
 			}
-		} else if e.rng.Bernoulli(e.FalseBusy) {
-			b[i] = true
+		}
+		if flip != 0 {
+			b.bits.XorWord(wi, flip)
 		}
 	}
 	return b

@@ -31,10 +31,10 @@ func TestOccupancyConsistentWithBitVec(t *testing.T) {
 	req := FrameRequest{W: 512, K: 2, P: 0.5, Seed: 17}
 	bits := e.RunFrame(req)
 	occ := e.RunFrameOccupancy(req)
-	for i := range bits {
+	for i := 0; i < bits.Len(); i++ {
 		busy := occ[i] != Empty
-		if bits[i] != busy {
-			t.Fatalf("slot %d: bit=%v occupancy=%v", i, bits[i], occ[i])
+		if bits.Get(i) != busy {
+			t.Fatalf("slot %d: bit=%v occupancy=%v", i, bits.Get(i), occ[i])
 		}
 	}
 }

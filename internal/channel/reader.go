@@ -50,10 +50,10 @@ func (r *Reader) BroadcastParams(bits int) {
 // sensed bit-slots.
 func (r *Reader) ExecuteFrame(req FrameRequest) BitVec {
 	b := r.Engine.RunFrame(req)
-	r.clock.Listen(len(b))
+	r.clock.Listen(b.Len())
 	r.emit(TraceEvent{
 		Kind: "frame", W: req.W, K: req.K, P: req.P,
-		Observe: len(b), Busy: b.CountBusy(),
+		Observe: b.Len(), Busy: b.CountBusy(),
 	})
 	return b
 }

@@ -25,8 +25,8 @@ func TestReaderChargesBroadcast(t *testing.T) {
 func TestReaderChargesFrame(t *testing.T) {
 	r := newTestReader(100)
 	b := r.ExecuteFrame(FrameRequest{W: 8192, K: 3, P: 0.1, Observe: 1024, Seed: r.NextSeed()})
-	if len(b) != 1024 {
-		t.Fatalf("frame length %d", len(b))
+	if b.Len() != 1024 {
+		t.Fatalf("frame length %d", b.Len())
 	}
 	c := r.Cost()
 	if c.TagSlots != 1024 || c.Intervals != 1 {
@@ -118,10 +118,8 @@ func TestNoisyEngineZeroNoiseIsTransparent(t *testing.T) {
 	req := FrameRequest{W: 256, K: 2, P: 0.5, Seed: 11}
 	a := inner.RunFrame(req)
 	b := e.RunFrame(req)
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatal("zero-noise wrapper altered the frame")
-		}
+	if !a.Equal(b) {
+		t.Fatal("zero-noise wrapper altered the frame")
 	}
 	if e.Size() != inner.Size() {
 		t.Fatal("Size not delegated")

@@ -74,9 +74,9 @@ func (e *TagEngine) Size() int { return e.Pop.N() }
 // RunFrame implements Engine.
 func (e *TagEngine) RunFrame(req FrameRequest) BitVec {
 	observe := req.validate()
-	busy := make([]bool, req.W)
+	busy := NewBitVec(req.W)
 	e.scatter(req, observe, busy)
-	return BitVec(busy[:observe])
+	return busy.truncate(observe)
 }
 
 // FirstResponse implements Engine. It avoids materializing the frame by
@@ -111,15 +111,15 @@ func (e *TagEngine) FirstResponse(req FrameRequest, maxScan int) int {
 	return min
 }
 
-// scatter marks the slots in busy where at least one tag responds and
+// scatter sets the bits of the slots where at least one tag responds and
 // meters transmissions within the observed prefix.
-func (e *TagEngine) scatter(req FrameRequest, observe int, busy []bool) {
+func (e *TagEngine) scatter(req FrameRequest, observe int, busy BitVec) {
 	for ti := range e.Pop.Tags {
 		tag := &e.Pop.Tags[ti]
 		for j := 0; j < req.K; j++ {
 			slot, responds := e.tagDecision(tag, req, j)
 			if responds {
-				busy[slot] = true
+				busy.setBusy(slot)
 				if slot < observe {
 					e.transmissions++
 				}

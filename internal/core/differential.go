@@ -90,14 +90,8 @@ func (d *Differ) Take(r *channel.Reader) (*Snapshot, error) {
 		P:    float64(d.pn) / float64(d.cfg.PDenom),
 		Seed: d.seed,
 	})
-	idle := bitset.New(len(vec))
-	for i, busy := range vec {
-		if !busy {
-			idle.Set1(i)
-		}
-	}
 	return &Snapshot{
-		Idle: idle,
+		Idle: vec.IdleSet(), // B(i) = 1 ⟺ idle: the complement, one NOT per word
 		W:    d.cfg.W,
 		K:    d.cfg.K,
 		Pn:   d.pn,

@@ -62,7 +62,9 @@ func (l *LOF) Estimate(r *channel.Reader, acc Accuracy) (Result, error) {
 			Seed: r.NextSeed(),
 		})
 		slots += f
-		first := firstIdle(vec)
+		// The observation is the number of leading busy slots (the first
+		// idle position); a fully busy frame reports its length.
+		first := vec.FirstIdle()
 		if first > 0 {
 			responded = true
 		}
@@ -78,15 +80,4 @@ func (l *LOF) Estimate(r *channel.Reader, acc Accuracy) (Result, error) {
 	res.Cost = r.Cost().Sub(start)
 	res.Seconds = res.Cost.Seconds(r.Profile)
 	return res, nil
-}
-
-// firstIdle returns the index of the first idle slot (== the number of
-// leading busy slots); a fully busy frame reports its length.
-func firstIdle(vec channel.BitVec) int {
-	for i, busy := range vec {
-		if !busy {
-			return i
-		}
-	}
-	return len(vec)
 }

@@ -96,7 +96,7 @@ func (p *PET) Estimate(r *channel.Reader, acc Accuracy) (Result, error) {
 			r.BroadcastParams(posBits)
 			r.ListenSlots(1)
 			slots++
-			if vec[mid] {
+			if vec.Get(mid) {
 				lo = mid + 1
 			} else {
 				hi = mid

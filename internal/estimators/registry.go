@@ -1,0 +1,41 @@
+package estimators
+
+import "sort"
+
+// registry maps protocol names to fresh estimator instances. It is the
+// single source of truth for which protocols exist: the root package's
+// EstimateWith and every CLI resolve names through New/Names below.
+var registry = map[string]func() Estimator{
+	"BFCE":        func() Estimator { return NewBFCE() },
+	"BFCE-multi":  func() Estimator { return NewBFCEMulti() },
+	"ZOE":         func() Estimator { return NewZOE() },
+	"ZOE-batched": func() Estimator { return NewZOEBatched() },
+	"SRC":         func() Estimator { return NewSRC() },
+	"LOF":         func() Estimator { return NewLOF() },
+	"UPE":         func() Estimator { return NewUPE() },
+	"EZB":         func() Estimator { return NewEZB() },
+	"FNEB":        func() Estimator { return NewFNEB() },
+	"MLE":         func() Estimator { return NewMLE() },
+	"ART":         func() Estimator { return NewART() },
+	"PET":         func() Estimator { return NewPET() },
+}
+
+// New returns a fresh instance of the named protocol, or nil if the name
+// is unknown (see Names for the accepted set).
+func New(name string) Estimator {
+	mk, ok := registry[name]
+	if !ok {
+		return nil
+	}
+	return mk()
+}
+
+// Names returns the protocol names accepted by New, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -126,7 +126,7 @@ func (z *ZOEBatched) Estimate(r *channel.Reader, acc Accuracy) (Result, error) {
 		vec := r.Engine.RunFrame(channel.FrameRequest{
 			W: 1, K: 1, P: p, Seed: base + uint64(i),
 		})
-		if !vec[0] {
+		if !vec.Get(0) {
 			idle++
 		}
 	}

@@ -101,7 +101,7 @@ func (z *ZOE) Estimate(r *channel.Reader, acc Accuracy) (Result, error) {
 			P:    p,
 			Seed: r.NextSeed(),
 		})
-		if !vec[0] {
+		if !vec.Get(0) {
 			idle++
 		}
 	}

@@ -96,7 +96,7 @@ func Detect(r *channel.Reader, expected []tags.Tag, cfg Config) (Result, error) 
 	start := r.Cost()
 
 	convicted := make(map[uint64]bool)
-	covered := make([]bool, len(expected))
+	covered := make([]bool, len(expected)) //lint:allow boolframe per-tag coverage flags, not a frame buffer
 	var idleSingletons, totalSingletons int
 
 	slotOf := make([]int, len(expected))
@@ -127,7 +127,7 @@ func Detect(r *channel.Reader, expected []tags.Tag, cfg Config) (Result, error) 
 			}
 			covered[i] = true
 			totalSingletons++
-			if !vec[s] {
+			if !vec.Get(s) {
 				idleSingletons++
 				convicted[tag.ID] = true
 			}
