@@ -171,6 +171,43 @@ func BenchmarkFleetEstimate(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetEstimateObs measures observability overhead on the exact
+// workload of BenchmarkFleetEstimate at workers=1: leg "noop" runs
+// uninstrumented (the default observer), leg "registry" attaches one
+// shared metrics registry to every trial. scripts/obsbench.sh is the CI
+// gate: the instrumented leg must stay within 5% of noop, pinning both
+// the zero-allocation noop contract and the registry's lock-cheap claim.
+func BenchmarkFleetEstimateObs(b *testing.B) {
+	var jobs []fleet.Job
+	for i := 0; i < 8; i++ {
+		sys := rfidest.NewSystem(100000*(i+1), rfidest.WithSeed(uint64(i)), rfidest.WithSynthetic())
+		jobs = append(jobs, fleet.Job{
+			System: sys, Estimator: "BFCE", Epsilon: 0.05, Delta: 0.05, Trials: 4,
+		})
+	}
+	for _, bc := range []struct {
+		name     string
+		observer rfidest.Observer
+	}{
+		{"noop", nil},
+		{"registry", rfidest.NewMetrics()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var rep *fleet.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = fleet.Run(context.Background(),
+					fleet.Config{Workers: 1, Seed: 0xbead, Observer: bc.observer}, jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.Throughput, "estimations/s")
+			b.ReportMetric(rep.MeanAbsErr, "mean-abs-err")
+		})
+	}
+}
+
 // BenchmarkSRCSynthetic measures one full SRC estimation (7 median rounds).
 func BenchmarkSRCSynthetic(b *testing.B) {
 	sys := rfidest.NewSystem(500000, rfidest.WithSeed(4), rfidest.WithSynthetic())

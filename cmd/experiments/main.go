@@ -9,6 +9,7 @@
 //	experiments -csv results/         # additionally write one CSV per table
 //	experiments -trials 20 -seed 7    # override repetitions and seed
 //	experiments -workers 2            # bound the trial pool (same results)
+//	experiments -metrics json         # observability snapshot on exit
 package main
 
 import (
@@ -16,19 +17,29 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
 	"rfidest/internal/experiment"
+	"rfidest/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code, so the deferred metrics dump and profile
+// stop execute on every path.
+func run() int {
 	var (
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		run     = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		seed    = flag.Uint64("seed", experiment.DefaultOptions().Seed, "experiment seed")
-		trials  = flag.Int("trials", 0, "override per-point trials (0 = figure defaults)")
-		workers = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS; results identical either way)")
-		csvDir  = flag.String("csv", "", "also write one CSV per table into this directory")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		runIDs     = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		seed       = flag.Uint64("seed", experiment.DefaultOptions().Seed, "experiment seed")
+		trials     = flag.Int("trials", 0, "override per-point trials (0 = figure defaults)")
+		workers    = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS; results identical either way)")
+		csvDir     = flag.String("csv", "", "also write one CSV per table into this directory")
+		metrics    = flag.String("metrics", "", `dump an observability snapshot on exit: "text" or "json"`)
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
 
@@ -36,13 +47,50 @@ func main() {
 		for _, id := range experiment.IDs() {
 			fmt.Printf("%-16s %s\n", id, experiment.Describe(id))
 		}
-		return
+		return 0
+	}
+	if *metrics != "" && *metrics != "text" && *metrics != "json" {
+		fmt.Fprintf(os.Stderr, "experiments: -metrics must be \"text\" or \"json\", got %q\n", *metrics)
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	o := experiment.Options{Seed: *seed, Trials: *trials, Workers: *workers}
+	var registry *obs.Registry
+	if *metrics != "" {
+		registry = obs.NewRegistry()
+		o.Observer = registry
+		defer func() {
+			var err error
+			if *metrics == "json" {
+				err = registry.Snapshot().WriteJSON(os.Stdout)
+			} else {
+				err = registry.Snapshot().WriteText(os.Stdout)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: metrics dump: %v\n", err)
+			}
+		}()
+	}
+
 	var ids []string
-	if *run != "" {
-		for _, id := range strings.Split(*run, ",") {
+	if *runIDs != "" {
+		for _, id := range strings.Split(*runIDs, ",") {
 			if id = strings.TrimSpace(id); id != "" {
 				ids = append(ids, id)
 			}
@@ -57,21 +105,22 @@ func main() {
 		runner, ok := experiment.Lookup(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", id)
-			os.Exit(2)
+			return 2
 		}
 		table := runner(o)
 		if err := table.Render(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println()
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, id, table); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
+	return 0
 }
 
 func writeCSV(dir, id string, table *experiment.Table) error {

@@ -12,6 +12,8 @@
 //	rfidfleet -estimators BFCE -min-n 1e4 -max-n 1e6
 //	rfidfleet -tag-level -noise 0.001              # per-tag fidelity + noise
 //	rfidfleet -timeout 10s                         # cancel long batches
+//	rfidfleet -metrics text                        # observability snapshot
+//	rfidfleet -cpuprofile fleet.pprof              # profile the run
 package main
 
 import (
@@ -20,13 +22,21 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"rfidest"
 	"rfidest/internal/fleet"
+	"rfidest/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code, so the deferred metrics dump and profile
+// stop execute on every path.
+func run() int {
 	var (
 		systems    = flag.Int("systems", 8, "number of simulated deployments")
 		minN       = flag.Float64("min-n", 10000, "smallest deployment cardinality")
@@ -41,12 +51,18 @@ func main() {
 		noise      = flag.Float64("noise", 0, "symmetric per-slot reader error rate applied to half the systems")
 		timeout    = flag.Duration("timeout", 0, "cancel the batch after this long (0 = no limit)")
 		verbose    = flag.Bool("v", false, "also print one line per job")
+		metrics    = flag.String("metrics", "", `dump an observability snapshot on exit: "text" or "json"`)
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
 
 	if *systems < 1 || *trials < 1 || *minN < 1 || *maxN < *minN {
 		fmt.Fprintln(os.Stderr, "rfidfleet: need systems >= 1, trials >= 1, 1 <= min-n <= max-n")
-		os.Exit(2)
+		return 2
+	}
+	if *metrics != "" && *metrics != "text" && *metrics != "json" {
+		fmt.Fprintf(os.Stderr, "rfidfleet: -metrics must be \"text\" or \"json\", got %q\n", *metrics)
+		return 2
 	}
 	var names []string
 	for _, name := range strings.Split(*estimators, ",") {
@@ -56,7 +72,41 @@ func main() {
 	}
 	if len(names) == 0 {
 		fmt.Fprintln(os.Stderr, "rfidfleet: no estimators selected")
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rfidfleet: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rfidfleet: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	var registry *obs.Registry
+	var observer obs.Observer
+	if *metrics != "" {
+		registry = obs.NewRegistry()
+		observer = registry
+		defer func() {
+			var err error
+			if *metrics == "json" {
+				err = registry.Snapshot().WriteJSON(os.Stdout)
+			} else {
+				err = registry.Snapshot().WriteText(os.Stdout)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rfidfleet: metrics dump: %v\n", err)
+			}
+		}()
 	}
 
 	jobs := buildWorkload(*systems, *minN, *maxN, names, *eps, *delta, *trials, *seed, *tagLevel, *noise)
@@ -71,10 +121,10 @@ func main() {
 	fmt.Printf("fleet: %d systems x %d estimators x %d trials = %d estimations (workers=%d seed=%d)\n",
 		*systems, len(names), *trials, *systems*len(names)**trials, *workers, *seed)
 
-	rep, err := fleet.Run(ctx, fleet.Config{Workers: *workers, Seed: *seed}, jobs)
+	rep, err := fleet.Run(ctx, fleet.Config{Workers: *workers, Seed: *seed, Observer: observer}, jobs)
 	if err != nil && rep == nil {
 		fmt.Fprintf(os.Stderr, "rfidfleet: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 
 	if *verbose {
@@ -105,11 +155,12 @@ func main() {
 		rep.AirSeconds, rep.WallSeconds, rep.Throughput)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rfidfleet: batch cancelled: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	if rep.Failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // buildWorkload lays out the mixed batch: `systems` deployments with

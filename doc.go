@@ -18,6 +18,34 @@
 //	if err != nil { ... }
 //	fmt.Printf("n̂ = %.0f in %.3f s of air time\n", est.N, est.Seconds)
 //
+// # The Run entry point
+//
+// System.Run is the context-aware form every estimation flows through,
+// configured with functional options:
+//
+//	est, err := sys.Run(ctx,
+//		rfidest.WithEstimator("BFCE"),    // default; any name in Estimators()
+//		rfidest.WithAccuracy(0.05, 0.05), // default (ε, δ)
+//		rfidest.WithSalt(7),              // deterministic session addressing
+//		rfidest.WithObserver(metrics))    // passive instrumentation
+//
+// The context gates the start of a run only — an in-flight session is a
+// sub-second simulation and always completes, keeping salted replays
+// bit-identical. EstimateBFCE, EstimateWith and EstimateWithSalt remain
+// as thin deprecated wrappers over Run; RunBFCEDetail is Run with BFCE's
+// internal diagnostics.
+//
+// # Observability
+//
+// WithObserver attaches an Observer to a run: session and protocol-phase
+// spans, per-frame slot counts, reader-bit and air-time series. NewMetrics
+// returns the aggregating registry (histograms for air time, probe rounds
+// and estimation error; snapshots export as JSON or expvar-style text).
+// Observation is passive — estimates are bit-identical with and without
+// it — and the default no-op observer costs nothing. The rfidfleet and
+// experiments CLIs expose the registry via -metrics text|json; see
+// examples/observability and DESIGN.md §10.
+//
 // # What is simulated
 //
 // A System is a population of tags behind a time-slotted reader-talks-first

@@ -1,9 +1,8 @@
 package rfidest
 
 import (
-	"fmt"
+	"context"
 
-	"rfidest/internal/channel"
 	"rfidest/internal/core"
 	"rfidest/internal/estimators"
 	"rfidest/internal/timing"
@@ -47,8 +46,10 @@ func fromResult(r estimators.Result) Estimate {
 
 // EstimateBFCE runs the paper's estimator to the (ε, δ) requirement:
 // P(|n̂ − n| ≤ ε·n) ≥ 1 − δ. Both parameters must lie in (0, 1).
+//
+// Deprecated: use Run with WithAccuracy; BFCE is Run's default estimator.
 func (s *System) EstimateBFCE(epsilon, delta float64) (Estimate, error) {
-	return s.EstimateWith("BFCE", epsilon, delta)
+	return s.Run(context.Background(), WithAccuracy(epsilon, delta))
 }
 
 // Estimators returns the names accepted by EstimateWith, sorted. The set
@@ -63,8 +64,10 @@ func Estimators() []string {
 // counter values to callers (and hence each caller's exact result) is
 // scheduling-dependent — use EstimateWithSalt when results must be
 // reproducible regardless of interleaving.
+//
+// Deprecated: use Run with WithEstimator and WithAccuracy.
 func (s *System) EstimateWith(name string, epsilon, delta float64) (Estimate, error) {
-	return s.estimateOn(s.session, name, epsilon, delta)
+	return s.Run(context.Background(), WithEstimator(name), WithAccuracy(epsilon, delta))
 }
 
 // EstimateWithSalt runs the named protocol over the session addressed by
@@ -73,28 +76,10 @@ func (s *System) EstimateWith(name string, epsilon, delta float64) (Estimate, er
 // in flight, which is what deterministic parallel harnesses (the
 // internal/fleet runner, experiment trial loops) key their jobs on.
 // Distinct salts give independent sessions, like distinct counter values.
+//
+// Deprecated: use Run with WithEstimator, WithAccuracy and WithSalt.
 func (s *System) EstimateWithSalt(name string, epsilon, delta float64, salt uint64) (Estimate, error) {
-	return s.estimateOn(func() *channel.Reader { return s.sessionAt(salt) }, name, epsilon, delta)
-}
-
-// estimateOn validates parameters, opens a session via open and runs the
-// named protocol over it.
-func (s *System) estimateOn(open func() *channel.Reader, name string, epsilon, delta float64) (Estimate, error) {
-	est := estimators.New(name)
-	if est == nil {
-		return Estimate{}, fmt.Errorf("rfidest: unknown estimator %q (known: %v)", name, Estimators())
-	}
-	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
-		return Estimate{}, fmt.Errorf("rfidest: epsilon and delta must be in (0, 1), got (%v, %v)", epsilon, delta)
-	}
-	session := open()
-	res, err := est.Estimate(session, estimators.Accuracy{Epsilon: epsilon, Delta: delta})
-	if err != nil {
-		return Estimate{}, err
-	}
-	out := fromResult(res)
-	out.TagTransmissions = session.TagTransmissions()
-	return out, nil
+	return s.Run(context.Background(), WithEstimator(name), WithAccuracy(epsilon, delta), WithSalt(salt))
 }
 
 // BFCEDetail runs BFCE and returns the protocol's internal diagnostics
@@ -112,36 +97,10 @@ type BFCEDetail struct {
 }
 
 // EstimateBFCEDetail is EstimateBFCE with full diagnostics.
+//
+// Deprecated: use RunBFCEDetail.
 func (s *System) EstimateBFCEDetail(epsilon, delta float64) (BFCEDetail, error) {
-	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
-		return BFCEDetail{}, fmt.Errorf("rfidest: epsilon and delta must be in (0, 1), got (%v, %v)", epsilon, delta)
-	}
-	est, err := core.New(core.Config{Epsilon: epsilon, Delta: delta})
-	if err != nil {
-		return BFCEDetail{}, err
-	}
-	r := s.session()
-	res, err := est.Estimate(r)
-	if err != nil {
-		return BFCEDetail{}, err
-	}
-	return BFCEDetail{
-		Estimate: Estimate{
-			N:          res.Estimate,
-			Seconds:    res.Seconds,
-			Slots:      res.Cost.TagSlots,
-			ReaderBits: res.Cost.ReaderBits,
-			Rounds:     1,
-			Guarded:    res.Feasible,
-		},
-		Rough:       res.Rough,
-		LowerBound:  res.LowerBound,
-		ProbePn:     res.PsNum,
-		OptimalPn:   res.PoNum,
-		ProbeRounds: res.ProbeRounds,
-		Feasible:    res.Feasible,
-		Saturated:   res.Saturated,
-	}, nil
+	return s.RunBFCEDetail(context.Background(), WithAccuracy(epsilon, delta))
 }
 
 // ConstantTimeBudget returns the paper's closed-form bound on BFCE's air

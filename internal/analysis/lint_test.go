@@ -31,7 +31,7 @@ func TestSeededViolationsAreExclusive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, target := range []string{"detrand", "atomicmix", "floatcmp", "seedlit"} {
+	for _, target := range []string{"detrand", "atomicmix", "floatcmp", "seedlit", "metricreg"} {
 		pkg, err := loader.LoadDir("testdata/" + target)
 		if err != nil {
 			t.Fatalf("load testdata/%s: %v", target, err)

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// forbiddenMetricImports are process-global metric registries that bypass
+// internal/obs. expvar publishes into a package-global map the first
+// import wins; runtime/metrics reads are fine in principle but in this
+// module always indicate a second, uncoordinated export path.
+var forbiddenMetricImports = map[string]bool{
+	"expvar":          true,
+	"runtime/metrics": true,
+}
+
+// MetricReg enforces the single-registry observability policy: all metric
+// registration and export flows through internal/obs (Observer hooks into
+// an obs.Registry, snapshots via WriteJSON/WriteText), so the module has
+// one snapshot of record instead of a scatter of process-global state.
+// Only internal/obs itself may touch the stdlib's global registries.
+var MetricReg = &Analyzer{
+	Name: "metricreg",
+	Doc: "forbid expvar and runtime/metrics outside internal/obs; metric registration and export " +
+		"must flow through the obs Observer/Registry so there is one snapshot of record",
+	AppliesTo: func(rel string) bool {
+		return rel != "internal/obs"
+	},
+	Run: runMetricReg,
+}
+
+func runMetricReg(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if forbiddenMetricImports[path] {
+				pass.Reportf(spec.Pos(),
+					"import %q registers process-global metrics and bypasses the observability layer: report through rfidest/internal/obs instead",
+					path)
+			}
+		}
+	}
+	return nil
+}

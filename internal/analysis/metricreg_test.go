@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rfidest/internal/analysis"
+	"rfidest/internal/analysis/analysistest"
+)
+
+func TestMetricRegGolden(t *testing.T) {
+	analysistest.Run(t, analysis.MetricReg, "testdata/metricreg")
+}
+
+func TestMetricRegScope(t *testing.T) {
+	for rel, covered := range map[string]bool{
+		"internal/obs":     false, // the one package allowed to own export machinery
+		".":                true,
+		"internal/fleet":   true,
+		"internal/channel": true,
+		"cmd/rfidfleet":    true, // CLIs export via the obs snapshot, not expvar
+		"examples":         true,
+	} {
+		if got := analysis.MetricReg.AppliesTo(rel); got != covered {
+			t.Errorf("metricreg covers %q = %v, want %v", rel, got, covered)
+		}
+	}
+}

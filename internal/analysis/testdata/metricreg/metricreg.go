@@ -1,0 +1,23 @@
+// Package metricregtest seeds deliberate observability-policy violations
+// for the metricreg golden test: both forbidden global-registry imports,
+// plus the sanctioned //lint:allow escape hatch.
+package metricregtest
+
+import (
+	"expvar" // want `import "expvar" registers process-global metrics and bypasses the observability layer`
+
+	"runtime/metrics" // want `import "runtime/metrics" registers process-global metrics and bypasses the observability layer`
+)
+
+// sessionsVar publishes into expvar's process-global map — the exact
+// second-registry scatter the policy forbids.
+var sessionsVar = expvar.NewInt("sessions")
+
+// readHeap samples the runtime's own metric registry.
+func readHeap() uint64 {
+	samples := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	metrics.Read(samples)
+	return samples[0].Value.Uint64()
+}
+
+func bump() { sessionsVar.Add(1) }

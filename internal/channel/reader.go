@@ -1,6 +1,7 @@
 package channel
 
 import (
+	"rfidest/internal/obs"
 	"rfidest/internal/timing"
 	"rfidest/internal/xrand"
 )
@@ -18,12 +19,22 @@ import (
 //
 // Every verb charges the clock per the timing model, so Cost() after a run
 // is the protocol's overall execution time (the paper's Fig. 10 metric).
+//
+// Every verb also reports to the session's obs.Observer (obs.Nop unless
+// SetObserver installed one), attributed to the protocol phase opened by
+// StartPhase. Observation is passive: it never touches the clock, the
+// seed stream or the engine, so instrumented and uninstrumented sessions
+// are bit-identical.
 type Reader struct {
 	Engine  Engine
 	Profile timing.Profile
 	clock   timing.Clock
 	seeds   *xrand.Rand
 	trace   func(TraceEvent)
+
+	obs        obs.Observer // never nil; obs.Nop when uninstrumented
+	phase      obs.Phase
+	phaseStart timing.Cost // clock snapshot at StartPhase
 }
 
 // NewReader starts a session over engine. Seeds broadcast during the
@@ -33,7 +44,51 @@ func NewReader(engine Engine, seed uint64) *Reader {
 		Engine:  engine,
 		Profile: timing.C1G2,
 		seeds:   xrand.NewStream(seed, 0x5eed),
+		obs:     obs.Nop,
 	}
+}
+
+// SetObserver installs o as the session's observer; nil restores the
+// zero-cost default. Like SetTrace, observation does not affect costs or
+// outcomes.
+func (r *Reader) SetObserver(o obs.Observer) {
+	if o == nil {
+		o = obs.Nop
+	}
+	r.obs = o
+}
+
+// Observer returns the session's observer (obs.Nop when uninstrumented).
+// Protocol code uses it for hooks the Reader cannot emit itself (probe
+// rounds, session spans).
+func (r *Reader) Observer() obs.Observer { return r.obs }
+
+// StartPhase opens a named protocol-phase span: subsequent verbs are
+// attributed to p until EndPhase. Phases do not nest; starting a new phase
+// while one is open implicitly closes the open one.
+func (r *Reader) StartPhase(p obs.Phase) {
+	if r.phase != obs.PhaseRun {
+		r.EndPhase()
+	}
+	r.phase = p
+	r.phaseStart = r.clock.Cost()
+	r.obs.PhaseStart(p)
+}
+
+// EndPhase closes the open phase span, reporting the communication cost
+// the phase consumed (differenced from the session clock around the span).
+// Outside a span it is a no-op.
+func (r *Reader) EndPhase() {
+	if r.phase == obs.PhaseRun {
+		return
+	}
+	d := r.clock.Cost().Sub(r.phaseStart)
+	r.obs.PhaseEnd(r.phase, obs.PhaseStats{
+		Slots:      d.TagSlots,
+		ReaderBits: d.ReaderBits,
+		Seconds:    d.Seconds(r.Profile),
+	})
+	r.phase = obs.PhaseRun
 }
 
 // NextSeed draws the next random seed the reader will broadcast.
@@ -43,6 +98,7 @@ func (r *Reader) NextSeed() uint64 { return r.seeds.Uint64() }
 // number of bits (command, frame size, seeds, persistence numerator, ...).
 func (r *Reader) BroadcastParams(bits int) {
 	r.clock.Broadcast(bits)
+	r.obs.Broadcast(r.phase, bits)
 	r.emit(TraceEvent{Kind: "broadcast", Bits: bits})
 }
 
@@ -51,9 +107,11 @@ func (r *Reader) BroadcastParams(bits int) {
 func (r *Reader) ExecuteFrame(req FrameRequest) BitVec {
 	b := r.Engine.RunFrame(req)
 	r.clock.Listen(b.Len())
+	busy := b.CountBusy()
+	r.obs.Frame(r.phase, obs.FrameStats{W: req.W, Observed: b.Len(), Busy: busy})
 	r.emit(TraceEvent{
 		Kind: "frame", W: req.W, K: req.K, P: req.P,
-		Observe: b.Len(), Busy: b.CountBusy(),
+		Observe: b.Len(), Busy: busy,
 	})
 	return b
 }
@@ -69,8 +127,10 @@ func (r *Reader) ScanFirstBusy(req FrameRequest, maxScan int) int {
 	pos := r.Engine.FirstResponse(req, maxScan)
 	if pos < 0 {
 		r.clock.Listen(maxScan)
+		r.obs.Listen(r.phase, maxScan)
 	} else {
 		r.clock.Listen(pos + 1)
+		r.obs.Listen(r.phase, pos+1)
 	}
 	r.emit(TraceEvent{Kind: "scan", W: req.W, K: req.K, P: req.P, Busy: pos})
 	return pos
@@ -80,6 +140,7 @@ func (r *Reader) ScanFirstBusy(req FrameRequest, maxScan int) int {
 // full frame execution (single-slot probes, as in PET's tree walk).
 func (r *Reader) ListenSlots(n int) {
 	r.clock.Listen(n)
+	r.obs.Listen(r.phase, n)
 	r.emit(TraceEvent{Kind: "probe-slots", Bits: n})
 }
 

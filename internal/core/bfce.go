@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"rfidest/internal/channel"
+	"rfidest/internal/obs"
 	"rfidest/internal/timing"
 )
 
@@ -175,6 +176,7 @@ func (e *Estimator) Estimate(r *channel.Reader) (Result, error) {
 	// The reader broadcasts the k seeds once, then re-broadcasts only the
 	// adjusted numerator each round; all probe rounds reuse the same frame
 	// seed, so raising pn monotonically adds responders.
+	r.StartPhase(obs.PhaseProbe)
 	probeSeed := r.NextSeed()
 	r.BroadcastParams(e.paramBits())
 	pn := cfg.InitialPn
@@ -211,8 +213,11 @@ func (e *Estimator) Estimate(r *channel.Reader) (Result, error) {
 		r.BroadcastParams(timing.PnBits)
 	}
 	res.PsNum = pn
+	r.Observer().ProbeRounds(res.ProbeRounds)
+	r.EndPhase()
 
 	// ---- Rough phase: n̂_r and the lower bound n̂_low (§IV-C). ---------
+	r.StartPhase(obs.PhaseRough)
 	r.BroadcastParams(e.paramBits())
 	rough := r.ExecuteFrame(channel.FrameRequest{
 		W:       cfg.W,
@@ -227,8 +232,10 @@ func (e *Estimator) Estimate(r *channel.Reader) (Result, error) {
 	if res.LowerBound < 1 {
 		res.LowerBound = 1
 	}
+	r.EndPhase()
 
 	// ---- Accurate phase: optimal p_o, full frame, final n̂ (§IV-D). ----
+	r.StartPhase(obs.PhaseAccurate)
 	po, feasible := OptimalPn(res.LowerBound, cfg.K, cfg.W, cfg.PDenom, cfg.Epsilon, cfg.Delta)
 	if !feasible {
 		po = FallbackPn(res.LowerBound, cfg.K, cfg.W, cfg.PDenom)
@@ -247,6 +254,7 @@ func (e *Estimator) Estimate(r *channel.Reader) (Result, error) {
 	res.RhoFinal = rho
 	res.Saturated = res.Saturated || saturated
 	res.Estimate = EstimateFromRho(rho, cfg.K, float64(po)/float64(cfg.PDenom), cfg.W)
+	r.EndPhase()
 
 	res.Cost = r.Cost().Sub(startCost)
 	res.Seconds = res.Cost.Seconds(r.Profile)

@@ -1,0 +1,51 @@
+package estimators
+
+import (
+	"rfidest/internal/channel"
+	"rfidest/internal/obs"
+)
+
+// Instrument wraps est so every run reports a session span to o: a
+// SessionOpen before the protocol starts and a SessionClose carrying the
+// run's registry-level accounting (rounds, slots, reader bits, air time,
+// tag transmissions) when it completes. The wrapper also installs o as the
+// session observer for the duration of the run, so the channel-level hooks
+// (frames, broadcasts, phase spans) land in the same sink.
+//
+// Instrumentation is passive — the wrapped estimator's Result and error
+// are returned untouched. When o is nil or obs.Nop, est is returned
+// unwrapped so the uninstrumented path stays free of the indirection.
+func Instrument(est Estimator, o obs.Observer) Estimator {
+	if est == nil || o == nil || o == obs.Nop {
+		return est
+	}
+	return instrumented{est: est, obs: o}
+}
+
+type instrumented struct {
+	est Estimator
+	obs obs.Observer
+}
+
+func (i instrumented) Name() string { return i.est.Name() }
+
+func (i instrumented) Estimate(r *channel.Reader, acc Accuracy) (Result, error) {
+	prev := r.Observer()
+	r.SetObserver(obs.Multi(prev, i.obs))
+	defer r.SetObserver(prev)
+
+	i.obs.SessionOpen(i.est.Name())
+	res, err := i.est.Estimate(r, acc)
+	i.obs.SessionClose(obs.SessionStats{
+		Estimator:        i.est.Name(),
+		Estimate:         res.Estimate,
+		Rounds:           res.Rounds,
+		Slots:            res.Slots,
+		ReaderBits:       res.Cost.ReaderBits,
+		Seconds:          res.Seconds,
+		TagTransmissions: r.TagTransmissions(),
+		Guarded:          res.Guarded,
+		Err:              err != nil,
+	})
+	return res, err
+}

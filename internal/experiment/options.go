@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"rfidest/internal/channel"
+	"rfidest/internal/obs"
 	"rfidest/internal/tags"
 	"rfidest/internal/xrand"
 )
@@ -44,6 +45,9 @@ type Options struct {
 	// independent of the worker count by construction; the knob exists for
 	// constrained machines and for verifying exactly that.
 	Workers int
+	// Observer, when non-nil, is attached to every session an experiment
+	// opens; observation is passive, so tables are identical either way.
+	Observer obs.Observer
 }
 
 // DefaultOptions is used by the experiments binary and the benches.
@@ -66,7 +70,7 @@ func (o Options) session(n int, dist tags.Distribution, salt uint64) *channel.Re
 	} else {
 		eng = channel.NewBallsEngine(n, seed)
 	}
-	return channel.NewReader(eng, seed+1)
+	return o.observed(channel.NewReader(eng, seed+1))
 }
 
 // tagSession is session pinned to per-tag fidelity with a specific hash
@@ -74,5 +78,13 @@ func (o Options) session(n int, dist tags.Distribution, salt uint64) *channel.Re
 func (o Options) tagSession(n int, dist tags.Distribution, mode channel.HashMode, salt uint64) *channel.Reader {
 	seed := xrand.Combine(o.Seed, uint64(n), uint64(dist), uint64(mode), salt)
 	eng := channel.NewTagEngine(tags.Generate(n, dist, seed), mode)
-	return channel.NewReader(eng, seed+1)
+	return o.observed(channel.NewReader(eng, seed+1))
+}
+
+// observed attaches the configured observer, if any, to a fresh session.
+func (o Options) observed(r *channel.Reader) *channel.Reader {
+	if o.Observer != nil {
+		r.SetObserver(o.Observer)
+	}
+	return r
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rfidest"
+	"rfidest/internal/obs"
 	"rfidest/internal/stats"
 	"rfidest/internal/xrand"
 )
@@ -28,6 +29,10 @@ type Job struct {
 	Epsilon, Delta float64
 	// Trials is how many independent estimations to run (0 means 1).
 	Trials int
+	// Observer, when non-nil, receives the job's session and phase spans.
+	// It is teed with the batch-wide Config.Observer; observation is
+	// passive, so attaching one never perturbs results.
+	Observer obs.Observer
 }
 
 // JobResult is the outcome of one Job.
@@ -95,6 +100,10 @@ type Config struct {
 	// Seed roots the per-trial session salts: trial t of job i runs over
 	// the session addressed by Combine(Seed, i, t).
 	Seed uint64
+	// Observer, when non-nil, receives every trial's session and phase
+	// spans across the whole batch — typically an *obs.Registry shared by
+	// all workers. Results are bit-identical with or without it.
+	Observer obs.Observer
 }
 
 // Run executes the batch over a bounded worker pool. Job errors are
@@ -117,7 +126,7 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Report, error) {
 
 	start := time.Now() //lint:allow detrand wall-clock throughput reporting; feeds only WallSeconds/Throughput, never results
 	results, err := Map(ctx, cfg.Workers, len(jobs), func(i int) JobResult {
-		return runJob(ctx, cfg.Seed, i, jobs[i])
+		return runJob(ctx, cfg, i, jobs[i])
 	})
 	wall := time.Since(start).Seconds() //lint:allow detrand wall-clock throughput reporting; feeds only WallSeconds/Throughput, never results
 
@@ -144,7 +153,7 @@ func saltFor(seed uint64, job, trial int) uint64 {
 
 // runJob runs one job's trials sequentially, deriving each trial's
 // session salt from (seed, job index, trial index) alone.
-func runJob(ctx context.Context, seed uint64, index int, job Job) JobResult {
+func runJob(ctx context.Context, cfg Config, index int, job Job) JobResult {
 	trials := job.Trials
 	if trials == 0 {
 		trials = 1
@@ -152,11 +161,20 @@ func runJob(ctx context.Context, seed uint64, index int, job Job) JobResult {
 	res := JobResult{Job: job, Index: index, FailedAt: -1}
 	truth := float64(job.System.N())
 	metered := false
+	observer := obs.Multi(cfg.Observer, job.Observer)
 	for t := 0; t < trials; t++ {
 		if ctx.Err() != nil {
 			break // keep what completed; Run reports the cancellation
 		}
-		est, err := job.System.EstimateWithSalt(job.Estimator, job.Epsilon, job.Delta, saltFor(seed, index, t))
+		// Trials run under context.Background(): cancellation is handled by
+		// the per-trial pre-check above, keeping the contract that a trial
+		// in flight always completes (and a cancelled batch never turns
+		// into per-job errors).
+		est, err := job.System.Run(context.Background(),
+			rfidest.WithEstimator(job.Estimator),
+			rfidest.WithAccuracy(job.Epsilon, job.Delta),
+			rfidest.WithSalt(saltFor(cfg.Seed, index, t)),
+			rfidest.WithObserver(observer))
 		if err != nil {
 			res.Err = err
 			res.FailedAt = t

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPhaseStrings(t *testing.T) {
+	want := map[Phase]string{
+		PhaseRun: "run", PhaseProbe: "probe", PhaseRough: "rough",
+		PhaseAccurate: "accurate", NumPhases: "invalid",
+	}
+	for p, name := range want {
+		if p.String() != name {
+			t.Errorf("Phase(%d).String() = %q, want %q", p, p.String(), name)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 2, 5)
+	for _, v := range []float64{0.5, 1, 1.5, 2, 4.99, 5, 6, 100} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	// Bucket i collects bounds[i-1] < v <= bounds[i]; values past the last
+	// bound land in the overflow bucket: {0.5,1}, {1.5,2}, {4.99,5}, {6,100}.
+	got := s.Counts
+	want := []int64{2, 2, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if math.Abs(s.Sum-(0.5+1+1.5+2+4.99+5+6+100)) > 1e-9 {
+		t.Errorf("sum = %v", s.Sum)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":    {},
+		"unsorted": {2, 1},
+		"equal":    {1, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%s) did not panic", name)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+// TestRegistryAccounting drives one synthetic session through the hooks
+// and checks every series it should touch.
+func TestRegistryAccounting(t *testing.T) {
+	r := NewRegistry()
+	r.SessionOpen("BFCE")
+	r.PhaseStart(PhaseProbe)
+	r.Broadcast(PhaseProbe, 128)
+	r.Frame(PhaseProbe, FrameStats{W: 8192, Observed: 32, Busy: 7})
+	r.ProbeRounds(3)
+	r.PhaseEnd(PhaseProbe, PhaseStats{Slots: 32, ReaderBits: 128, Seconds: 0.002})
+	r.Listen(PhaseRun, 10)
+	r.SessionClose(SessionStats{
+		Estimator: "BFCE", Estimate: 1000, Rounds: 1, Slots: 42,
+		ReaderBits: 128, Seconds: 0.19, TagTransmissions: 55, Guarded: true,
+	})
+	r.EstimateError(0.015)
+
+	s := r.Snapshot()
+	if s.Sessions != 1 || s.Errors != 0 || s.Frames != 1 {
+		t.Fatalf("sessions/errors/frames = %d/%d/%d", s.Sessions, s.Errors, s.Frames)
+	}
+	if s.Slots != 42 { // 32 from the frame + 10 from the listen
+		t.Errorf("slots = %d, want 42", s.Slots)
+	}
+	if s.ReaderBits != 128 || s.TagTransmissions != 55 || s.ProbeRoundsTotal != 3 {
+		t.Errorf("bits/tagTx/probeRounds = %d/%d/%d", s.ReaderBits, s.TagTransmissions, s.ProbeRoundsTotal)
+	}
+	probe := s.Phases[PhaseProbe]
+	if probe.Phase != "probe" || probe.Spans != 1 || probe.Slots != 32 ||
+		probe.ReaderBits != 128 || probe.Frames != 1 || probe.BusySlots != 7 {
+		t.Errorf("probe phase snapshot: %+v", probe)
+	}
+	if probe.Seconds.Count != 1 {
+		t.Errorf("probe seconds count = %d", probe.Seconds.Count)
+	}
+	if run := s.Phases[PhaseRun]; run.Slots != 10 {
+		t.Errorf("run phase slots = %d, want 10", run.Slots)
+	}
+	if len(s.Estimators) != 1 {
+		t.Fatalf("estimators: %+v", s.Estimators)
+	}
+	e := s.Estimators[0]
+	if e.Estimator != "BFCE" || e.Sessions != 1 || e.Rounds != 1 || e.Slots != 42 ||
+		e.AirSeconds != 0.19 || e.TagTransmissions != 55 || e.Guarded != 1 {
+		t.Errorf("estimator snapshot: %+v", e)
+	}
+	if s.AirTimeSeconds.Count != 1 || s.ProbeRounds.Count != 1 || s.EstimateRelErr.Count != 1 {
+		t.Errorf("histogram counts: air=%d probe=%d err=%d",
+			s.AirTimeSeconds.Count, s.ProbeRounds.Count, s.EstimateRelErr.Count)
+	}
+}
+
+// TestRegistryErrorSessions: failed sessions count as errors and do not
+// pollute the cost series.
+func TestRegistryErrorSessions(t *testing.T) {
+	r := NewRegistry()
+	r.SessionOpen("ZOE")
+	r.SessionClose(SessionStats{Estimator: "ZOE", Err: true, TagTransmissions: -1})
+	s := r.Snapshot()
+	if s.Sessions != 1 || s.Errors != 1 {
+		t.Fatalf("sessions/errors = %d/%d", s.Sessions, s.Errors)
+	}
+	if s.AirTimeSeconds.Count != 0 {
+		t.Errorf("air-time histogram observed an errored session")
+	}
+	if s.TagTransmissions != 0 {
+		t.Errorf("unmetered -1 leaked into tag transmissions: %d", s.TagTransmissions)
+	}
+	if e := s.Estimators[0]; e.Errors != 1 || e.Sessions != 1 || e.AirSeconds != 0 {
+		t.Errorf("estimator error accounting: %+v", e)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != Nop || Multi(nil, Nop) != Nop {
+		t.Error("empty Multi should collapse to Nop")
+	}
+	r := NewRegistry()
+	if Multi(nil, r, Nop) != Observer(r) {
+		t.Error("single-entry Multi should unwrap")
+	}
+	r2 := NewRegistry()
+	m := Multi(r, r2)
+	m.SessionOpen("BFCE")
+	m.SessionClose(SessionStats{Estimator: "BFCE", Seconds: 0.1, TagTransmissions: -1})
+	m.PhaseStart(PhaseRough)
+	m.PhaseEnd(PhaseRough, PhaseStats{Seconds: 0.01})
+	m.Frame(PhaseRough, FrameStats{W: 8192, Observed: 1024, Busy: 100})
+	m.Broadcast(PhaseRough, 96)
+	m.Listen(PhaseRun, 5)
+	m.ProbeRounds(2)
+	m.EstimateError(0.01)
+	for i, reg := range []*Registry{r, r2} {
+		s := reg.Snapshot()
+		if s.Sessions != 1 || s.Slots != 1029 || s.ReaderBits != 96 || s.ProbeRoundsTotal != 2 {
+			t.Errorf("registry %d missed teed hooks: %+v", i, s)
+		}
+	}
+}
+
+// TestNopIsZeroAllocation pins the noop-overhead contract: the default
+// observer allocates nothing on any hook, and neither does the Registry's
+// hot path (phase/frame/broadcast/listen counters).
+func TestNopIsZeroAllocation(t *testing.T) {
+	reg := NewRegistry()
+	reg.SessionClose(SessionStats{Estimator: "BFCE"}) // pre-create the map cell
+	for name, o := range map[string]Observer{"nop": Nop, "registry": reg} {
+		allocs := testing.AllocsPerRun(100, func() {
+			o.SessionOpen("BFCE")
+			o.PhaseStart(PhaseProbe)
+			o.Broadcast(PhaseProbe, 96)
+			o.Frame(PhaseProbe, FrameStats{W: 8192, Observed: 32, Busy: 3})
+			o.Listen(PhaseProbe, 4)
+			o.ProbeRounds(1)
+			o.PhaseEnd(PhaseProbe, PhaseStats{Slots: 36, ReaderBits: 96, Seconds: 0.001})
+			o.SessionClose(SessionStats{Estimator: "BFCE", Seconds: 0.19, TagTransmissions: 10})
+			o.EstimateError(0.01)
+		})
+		if allocs != 0 {
+			t.Errorf("%s observer allocated %.1f times per session", name, allocs)
+		}
+	}
+}
+
+func TestSnapshotTextExport(t *testing.T) {
+	r := NewRegistry()
+	r.SessionOpen("BFCE")
+	r.PhaseStart(PhaseAccurate)
+	r.Frame(PhaseAccurate, FrameStats{W: 8192, Observed: 8192, Busy: 3000})
+	r.PhaseEnd(PhaseAccurate, PhaseStats{Slots: 8192, Seconds: 0.155})
+	r.ProbeRounds(4)
+	r.SessionClose(SessionStats{Estimator: "BFCE", Seconds: 0.19, Rounds: 1, Slots: 9248, TagTransmissions: -1})
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"obs.sessions 1\n",
+		"obs.phase.accurate.slots 8192\n",
+		"obs.phase.accurate.seconds.count 1\n",
+		"obs.phase.accurate.seconds.le0.19 1\n",
+		"obs.probe_rounds.le4 1\n",
+		"obs.estimator.BFCE.rounds 1\n",
+		"obs.airtime_s.le0.19 1\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text export missing %q in:\n%s", want, text)
+		}
+	}
+	// Deterministic: two renders of the same state are byte-identical.
+	var buf2 bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("text export is not deterministic")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.SessionOpen("SRC")
+	r.SessionClose(SessionStats{Estimator: "SRC", Seconds: 0.09, Rounds: 6, Slots: 3897, TagTransmissions: 100})
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Sessions != 1 || len(back.Estimators) != 1 || back.Estimators[0].Slots != 3897 {
+		t.Errorf("round-tripped snapshot: %+v", back)
+	}
+}

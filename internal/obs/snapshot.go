@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Snapshot is a point-in-time copy of a Registry, suitable for export.
+// Slices are ordered deterministically (phases by enum order, estimators
+// by name) so two snapshots of identical state render identically.
+type Snapshot struct {
+	Sessions         int64 `json:"sessions"`
+	Errors           int64 `json:"errors"`
+	Frames           int64 `json:"frames"`
+	Slots            int64 `json:"slots"`
+	ReaderBits       int64 `json:"reader_bits"`
+	TagTransmissions int64 `json:"tag_transmissions"`
+	ProbeRoundsTotal int64 `json:"probe_rounds_total"`
+
+	Phases     []PhaseSnapshot     `json:"phases"`
+	Estimators []EstimatorSnapshot `json:"estimators"`
+
+	AirTimeSeconds HistogramSnapshot `json:"airtime_s"`
+	ProbeRounds    HistogramSnapshot `json:"probe_rounds"`
+	EstimateRelErr HistogramSnapshot `json:"est_rel_err"`
+}
+
+// PhaseSnapshot is the per-phase series: slot/bit/frame counters fed by
+// the channel hooks and the span air-time histogram.
+type PhaseSnapshot struct {
+	Phase      string            `json:"phase"`
+	Spans      int64             `json:"spans"`
+	Slots      int64             `json:"slots"`
+	ReaderBits int64             `json:"reader_bits"`
+	Frames     int64             `json:"frames"`
+	BusySlots  int64             `json:"busy_slots"`
+	Seconds    HistogramSnapshot `json:"seconds"`
+}
+
+// EstimatorSnapshot is the registry-level per-protocol accounting.
+type EstimatorSnapshot struct {
+	Estimator        string  `json:"estimator"`
+	Sessions         int64   `json:"sessions"`
+	Errors           int64   `json:"errors"`
+	Rounds           int64   `json:"rounds"`
+	Slots            int64   `json:"slots"`
+	ReaderBits       int64   `json:"reader_bits"`
+	AirSeconds       float64 `json:"air_seconds"`
+	TagTransmissions int64   `json:"tag_transmissions"`
+	Guarded          int64   `json:"guarded"`
+}
+
+// Snapshot copies the registry's current state. Counters are read
+// individually (not under one lock), so a snapshot taken while sessions
+// are in flight is internally consistent per counter, not across them —
+// take snapshots at quiescence for exact cross-counter invariants.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Sessions:         r.sessions.Load(),
+		Errors:           r.errors.Load(),
+		Frames:           r.frames.Load(),
+		Slots:            r.slots.Load(),
+		ReaderBits:       r.readerBits.Load(),
+		TagTransmissions: r.tagTransmissions.Load(),
+		ProbeRoundsTotal: r.probeRoundsTotal.Load(),
+		AirTimeSeconds:   r.airTime.snapshot(),
+		ProbeRounds:      r.probeRounds.snapshot(),
+		EstimateRelErr:   r.estErr.snapshot(),
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		m := &r.phases[p]
+		s.Phases = append(s.Phases, PhaseSnapshot{
+			Phase:      p.String(),
+			Spans:      m.spans.Load(),
+			Slots:      m.slots.Load(),
+			ReaderBits: m.readerBits.Load(),
+			Frames:     m.frames.Load(),
+			BusySlots:  m.busySlots.Load(),
+			Seconds:    m.seconds.snapshot(),
+		})
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.estimators))
+	for name := range r.estimators {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := r.estimators[name]
+		s.Estimators = append(s.Estimators, EstimatorSnapshot{
+			Estimator:        name,
+			Sessions:         m.sessions.Load(),
+			Errors:           m.errors.Load(),
+			Rounds:           m.rounds.Load(),
+			Slots:            m.slots.Load(),
+			ReaderBits:       m.readerBits.Load(),
+			AirSeconds:       m.airSeconds.Load(),
+			TagTransmissions: m.tagTx.Load(),
+			Guarded:          m.guarded.Load(),
+		})
+	}
+	r.mu.RUnlock()
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText renders the snapshot as expvar-style "name value" lines, one
+// series per line, in deterministic order. Histogram buckets render as
+// cumulative-free le<bound> counts plus a gt<last bound> overflow line.
+func (s Snapshot) WriteText(w io.Writer) error {
+	tw := &textWriter{w: w}
+	tw.line("obs.sessions", s.Sessions)
+	tw.line("obs.errors", s.Errors)
+	tw.line("obs.frames", s.Frames)
+	tw.line("obs.slots", s.Slots)
+	tw.line("obs.reader_bits", s.ReaderBits)
+	tw.line("obs.tag_transmissions", s.TagTransmissions)
+	tw.line("obs.probe_rounds_total", s.ProbeRoundsTotal)
+	for _, p := range s.Phases {
+		prefix := "obs.phase." + p.Phase
+		tw.line(prefix+".spans", p.Spans)
+		tw.line(prefix+".slots", p.Slots)
+		tw.line(prefix+".reader_bits", p.ReaderBits)
+		tw.line(prefix+".frames", p.Frames)
+		tw.line(prefix+".busy_slots", p.BusySlots)
+		tw.histogram(prefix+".seconds", p.Seconds)
+	}
+	for _, e := range s.Estimators {
+		prefix := "obs.estimator." + e.Estimator
+		tw.line(prefix+".sessions", e.Sessions)
+		tw.line(prefix+".errors", e.Errors)
+		tw.line(prefix+".rounds", e.Rounds)
+		tw.line(prefix+".slots", e.Slots)
+		tw.line(prefix+".reader_bits", e.ReaderBits)
+		tw.lineFloat(prefix+".air_seconds", e.AirSeconds)
+		tw.line(prefix+".tag_transmissions", e.TagTransmissions)
+		tw.line(prefix+".guarded", e.Guarded)
+	}
+	tw.histogram("obs.airtime_s", s.AirTimeSeconds)
+	tw.histogram("obs.probe_rounds", s.ProbeRounds)
+	tw.histogram("obs.est_rel_err", s.EstimateRelErr)
+	return tw.err
+}
+
+type textWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (t *textWriter) line(name string, v int64) {
+	if t.err == nil {
+		_, t.err = fmt.Fprintf(t.w, "%s %d\n", name, v)
+	}
+}
+
+func (t *textWriter) lineFloat(name string, v float64) {
+	if t.err == nil {
+		_, t.err = fmt.Fprintf(t.w, "%s %s\n", name, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+}
+
+func (t *textWriter) histogram(name string, h HistogramSnapshot) {
+	t.line(name+".count", h.Count)
+	t.lineFloat(name+".sum", h.Sum)
+	for i, b := range h.Bounds {
+		t.line(name+".le"+strconv.FormatFloat(b, 'g', -1, 64), h.Counts[i])
+	}
+	if n := len(h.Bounds); n > 0 && len(h.Counts) > n {
+		t.line(name+".gt"+strconv.FormatFloat(h.Bounds[n-1], 'g', -1, 64), h.Counts[n])
+	}
+}

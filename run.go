@@ -1,0 +1,235 @@
+package rfidest
+
+import (
+	"context"
+	"fmt"
+
+	"rfidest/internal/channel"
+	"rfidest/internal/core"
+	"rfidest/internal/estimators"
+	"rfidest/internal/obs"
+	"rfidest/internal/stats"
+)
+
+// Observer receives span hooks and metric events from estimation runs; see
+// the internal/obs package for the hook taxonomy. The zero-cost default is
+// NopObserver; Metrics is the aggregating implementation.
+type Observer = obs.Observer
+
+// NopObserver is the default observer: it does nothing and allocates
+// nothing, so uninstrumented runs stay at benchmark parity.
+var NopObserver Observer = obs.Nop
+
+// MultiObserver tees hooks to several observers in order, dropping nil and
+// NopObserver entries.
+func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
+
+// Metrics is a concurrency-safe metrics registry implementing Observer:
+// counters for slots, reader bits and tag transmissions; histograms for air
+// time, probe rounds and estimation error. Snapshot it for JSON or
+// expvar-style text export.
+type Metrics = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of a Metrics registry.
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetrics returns an empty metrics registry. One registry may observe
+// any number of concurrent runs.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// Option configures a Run call.
+type Option func(*runOptions)
+
+type runOptions struct {
+	estimator string
+	epsilon   float64
+	delta     float64
+	salt      uint64
+	hasSalt   bool
+	observer  obs.Observer
+}
+
+func defaultRunOptions() runOptions {
+	return runOptions{
+		estimator: "BFCE",
+		epsilon:   estimators.Default.Epsilon,
+		delta:     estimators.Default.Delta,
+		observer:  obs.Nop,
+	}
+}
+
+// WithEstimator selects the protocol to run, by registry name (see
+// Estimators). The default is "BFCE", the paper's estimator.
+func WithEstimator(name string) Option {
+	return func(o *runOptions) { o.estimator = name }
+}
+
+// WithAccuracy sets the (ε, δ) requirement: P(|n̂ − n| ≤ ε·n) ≥ 1 − δ.
+// Both parameters must lie in (0, 1). The default is (0.05, 0.05), the
+// paper's evaluation setting.
+func WithAccuracy(epsilon, delta float64) Option {
+	return func(o *runOptions) { o.epsilon, o.delta = epsilon, delta }
+}
+
+// WithSalt addresses the run's session by an explicit salt instead of the
+// system's shared session counter. Equal (system, salt) pairs replay
+// bit-identical sessions no matter how many other estimations are in
+// flight — what deterministic parallel harnesses key their trials on.
+func WithSalt(salt uint64) Option {
+	return func(o *runOptions) { o.salt, o.hasSalt = salt, true }
+}
+
+// WithObserver attaches an observer to the run: session and phase spans,
+// per-frame slot counts and cost counters are reported to it as the
+// protocol executes. Observation is passive — the estimate is bit-identical
+// with and without an observer. Nil restores the zero-cost default.
+func WithObserver(o Observer) Option {
+	return func(ro *runOptions) {
+		if o == nil {
+			o = obs.Nop
+		}
+		ro.observer = o
+	}
+}
+
+// Run executes one estimation over the system: it opens a fresh session
+// (counter-derived, or salt-addressed under WithSalt), runs the selected
+// protocol to the accuracy requirement, and returns the estimate. With no
+// options it runs BFCE at the paper's (0.05, 0.05) requirement.
+//
+// The context gates the start of the run only: a session in flight is a
+// sub-second simulation and is never interrupted mid-protocol, preserving
+// the session-counter and salt-addressing determinism contracts. A nil ctx
+// is treated as context.Background().
+//
+// Run is safe for concurrent use against one shared System.
+func (s *System) Run(ctx context.Context, opts ...Option) (Estimate, error) {
+	o := defaultRunOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Estimate{}, err
+	}
+	open := s.session
+	if o.hasSalt {
+		salt := o.salt
+		open = func() *channel.Reader { return s.sessionAt(salt) }
+	}
+	return s.runOn(open, o)
+}
+
+// runOn validates the options, opens a session via open and runs the
+// selected protocol over it. It is the single execution path behind Run
+// and every deprecated Estimate* wrapper; the operation order (estimator
+// lookup, accuracy validation, then session open) is load-bearing — the
+// session counter must not advance for invalid calls.
+func (s *System) runOn(open func() *channel.Reader, o runOptions) (Estimate, error) {
+	est := estimators.New(o.estimator)
+	if est == nil {
+		return Estimate{}, fmt.Errorf("rfidest: unknown estimator %q (known: %v)", o.estimator, Estimators())
+	}
+	if err := validateAccuracy(o.epsilon, o.delta); err != nil {
+		return Estimate{}, err
+	}
+	est = estimators.Instrument(est, o.observer)
+	session := open()
+	res, err := est.Estimate(session, estimators.Accuracy{Epsilon: o.epsilon, Delta: o.delta})
+	if err != nil {
+		return Estimate{}, err
+	}
+	out := fromResult(res)
+	out.TagTransmissions = session.TagTransmissions()
+	if o.observer != obs.Nop && s.n > 0 {
+		o.observer.EstimateError(stats.RelError(out.N, float64(s.n)))
+	}
+	return out, nil
+}
+
+// validateAccuracy is the one (ε, δ) domain check behind every public
+// entry point.
+func validateAccuracy(epsilon, delta float64) error {
+	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
+		return fmt.Errorf("rfidest: epsilon and delta must be in (0, 1), got (%v, %v)", epsilon, delta)
+	}
+	return nil
+}
+
+// RunBFCEDetail is Run restricted to BFCE, returning the protocol's
+// internal diagnostics alongside the estimate. WithEstimator selecting
+// anything but BFCE is an error; the other options behave as in Run.
+func (s *System) RunBFCEDetail(ctx context.Context, opts ...Option) (BFCEDetail, error) {
+	o := defaultRunOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return BFCEDetail{}, err
+	}
+	if o.estimator != "BFCE" {
+		return BFCEDetail{}, fmt.Errorf("rfidest: RunBFCEDetail runs BFCE only, got estimator %q", o.estimator)
+	}
+	if err := validateAccuracy(o.epsilon, o.delta); err != nil {
+		return BFCEDetail{}, err
+	}
+	est, err := core.New(core.Config{Epsilon: o.epsilon, Delta: o.delta})
+	if err != nil {
+		return BFCEDetail{}, err
+	}
+	session := s.session
+	if o.hasSalt {
+		salt := o.salt
+		session = func() *channel.Reader { return s.sessionAt(salt) }
+	}
+	r := session()
+	instrumented := o.observer != obs.Nop
+	if instrumented {
+		r.SetObserver(o.observer)
+		o.observer.SessionOpen("BFCE")
+	}
+	res, err := est.Estimate(r)
+	if instrumented {
+		o.observer.SessionClose(obs.SessionStats{
+			Estimator:        "BFCE",
+			Estimate:         res.Estimate,
+			Rounds:           1,
+			Slots:            res.Cost.TagSlots,
+			ReaderBits:       res.Cost.ReaderBits,
+			Seconds:          res.Seconds,
+			TagTransmissions: r.TagTransmissions(),
+			Guarded:          res.Feasible,
+			Err:              err != nil,
+		})
+	}
+	if err != nil {
+		return BFCEDetail{}, err
+	}
+	out := BFCEDetail{
+		Estimate: Estimate{
+			N:                res.Estimate,
+			Seconds:          res.Seconds,
+			Slots:            res.Cost.TagSlots,
+			ReaderBits:       res.Cost.ReaderBits,
+			Rounds:           1,
+			Guarded:          res.Feasible,
+			TagTransmissions: r.TagTransmissions(),
+		},
+		Rough:       res.Rough,
+		LowerBound:  res.LowerBound,
+		ProbePn:     res.PsNum,
+		OptimalPn:   res.PoNum,
+		ProbeRounds: res.ProbeRounds,
+		Feasible:    res.Feasible,
+		Saturated:   res.Saturated,
+	}
+	if instrumented && s.n > 0 {
+		o.observer.EstimateError(stats.RelError(out.Estimate.N, float64(s.n)))
+	}
+	return out, nil
+}

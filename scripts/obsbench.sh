@@ -1,0 +1,35 @@
+#!/bin/sh
+# obsbench.sh — CI smoke for the observability overhead contract.
+#
+# Runs BenchmarkFleetEstimateObs (the BenchmarkFleetEstimate workload at
+# workers=1) several times per leg and compares the best (minimum)
+# ns/op of the instrumented "registry" leg against the uninstrumented
+# "noop" leg. Fails if instrumentation costs more than 5%.
+#
+# Min-of-N is the standard noise defence for small CI boxes: the minimum
+# is the run least perturbed by scheduling, so a genuine regression moves
+# it while transient load does not.
+#
+# Usage: scripts/obsbench.sh [count]   (default count: 5)
+set -eu
+
+count=${1:-5}
+out=$(go test -run '^$' -bench '^BenchmarkFleetEstimateObs$' -benchtime 2x -count "$count" .)
+echo "$out"
+
+echo "$out" | awk -v limit=1.05 '
+/^BenchmarkFleetEstimateObs\/noop/     { if (min_noop == 0 || $3 < min_noop) min_noop = $3 }
+/^BenchmarkFleetEstimateObs\/registry/ { if (min_reg == 0 || $3 < min_reg)  min_reg = $3 }
+END {
+    if (min_noop == 0 || min_reg == 0) {
+        print "obsbench: missing benchmark legs in output" > "/dev/stderr"
+        exit 1
+    }
+    ratio = min_reg / min_noop
+    printf "obsbench: noop %d ns/op, registry %d ns/op, ratio %.3f (limit %.2f)\n",
+        min_noop, min_reg, ratio, limit
+    if (ratio > limit) {
+        print "obsbench: FAIL - instrumented fleet run exceeds the 5% overhead budget" > "/dev/stderr"
+        exit 1
+    }
+}'
