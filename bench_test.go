@@ -208,6 +208,40 @@ func BenchmarkFleetEstimateObs(b *testing.B) {
 	}
 }
 
+// BenchmarkFaults measures the fault-injection subsystem: leg "off" is the
+// clean tag-level baseline, leg "sev-0.5" runs the same estimation through
+// the severity-0.5 injector (burst noise, erasures, truncation, stalls),
+// and leg "retry" adds the degenerate-round retry policy on top. The off
+// vs sev overhead is the injector's word-level XOR cost; the baseline
+// recording lives in results/BENCH_faults.json.
+func BenchmarkFaults(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		opts []rfidest.SystemOption
+		run  []rfidest.Option
+	}{
+		{"off", nil, nil},
+		{"sev-0.5", []rfidest.SystemOption{rfidest.WithFaults(rfidest.FaultSeverity(0.5))}, nil},
+		{"retry", []rfidest.SystemOption{rfidest.WithFaults(rfidest.FaultSeverity(0.5))},
+			[]rfidest.Option{rfidest.WithRetry(2, 0)}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			sys := rfidest.NewSystem(100000, append([]rfidest.SystemOption{rfidest.WithSeed(5)}, bc.opts...)...)
+			b.ResetTimer()
+			var secs float64
+			for i := 0; i < b.N; i++ {
+				est, err := sys.Run(context.Background(),
+					append([]rfidest.Option{rfidest.WithSalt(uint64(i))}, bc.run...)...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				secs = est.Seconds
+			}
+			b.ReportMetric(secs, "airtime-s/op")
+		})
+	}
+}
+
 // BenchmarkSRCSynthetic measures one full SRC estimation (7 median rounds).
 func BenchmarkSRCSynthetic(b *testing.B) {
 	sys := rfidest.NewSystem(500000, rfidest.WithSeed(4), rfidest.WithSynthetic())

@@ -9,6 +9,8 @@
 //	experiments -csv results/         # additionally write one CSV per table
 //	experiments -trials 20 -seed 7    # override repetitions and seed
 //	experiments -workers 2            # bound the trial pool (same results)
+//	experiments -run faults -retry 3  # fault-severity sweep, deeper retries
+//	experiments -faults 0.5           # the whole suite over a lossy channel
 //	experiments -metrics json         # observability snapshot on exit
 package main
 
@@ -37,6 +39,8 @@ func run() int {
 		seed       = flag.Uint64("seed", experiment.DefaultOptions().Seed, "experiment seed")
 		trials     = flag.Int("trials", 0, "override per-point trials (0 = figure defaults)")
 		workers    = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS; results identical either way)")
+		faultsSev  = flag.Float64("faults", 0, "channel fault severity in [0, 1] applied to every session (0 = pristine channel; see the \"faults\" experiment)")
+		retry      = flag.Int("retry", 0, "override the degenerate-round retry budget of retry-aware experiments (0 = their defaults)")
 		csvDir     = flag.String("csv", "", "also write one CSV per table into this directory")
 		metrics    = flag.String("metrics", "", `dump an observability snapshot on exit: "text" or "json"`)
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -51,6 +55,14 @@ func run() int {
 	}
 	if *metrics != "" && *metrics != "text" && *metrics != "json" {
 		fmt.Fprintf(os.Stderr, "experiments: -metrics must be \"text\" or \"json\", got %q\n", *metrics)
+		return 2
+	}
+	if !(*faultsSev >= 0 && *faultsSev <= 1) {
+		fmt.Fprintf(os.Stderr, "experiments: -faults must be in [0, 1], got %v\n", *faultsSev)
+		return 2
+	}
+	if *retry < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -retry must be >= 0, got %d\n", *retry)
 		return 2
 	}
 
@@ -70,7 +82,7 @@ func run() int {
 		}()
 	}
 
-	o := experiment.Options{Seed: *seed, Trials: *trials, Workers: *workers}
+	o := experiment.Options{Seed: *seed, Trials: *trials, Workers: *workers, Faults: *faultsSev, Retries: *retry}
 	var registry *obs.Registry
 	if *metrics != "" {
 		registry = obs.NewRegistry()

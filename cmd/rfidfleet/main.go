@@ -11,6 +11,9 @@
 //	rfidfleet -systems 16 -trials 10 -workers 4    # bounded pool
 //	rfidfleet -estimators BFCE -min-n 1e4 -max-n 1e6
 //	rfidfleet -tag-level -noise 0.001              # per-tag fidelity + noise
+//	rfidfleet -faults 0.5 -retry 2                 # lossy channels + retries
+//	rfidfleet -retry 2 -retry-backoff 0.25         # exponential air-time backoff
+//	rfidfleet -trial-timeout 1s                    # per-trial deadline
 //	rfidfleet -timeout 10s                         # cancel long batches
 //	rfidfleet -metrics text                        # observability snapshot
 //	rfidfleet -cpuprofile fleet.pprof              # profile the run
@@ -38,26 +41,38 @@ func main() {
 // stop execute on every path.
 func run() int {
 	var (
-		systems    = flag.Int("systems", 8, "number of simulated deployments")
-		minN       = flag.Float64("min-n", 10000, "smallest deployment cardinality")
-		maxN       = flag.Float64("max-n", 1000000, "largest deployment cardinality (log-spaced up from min-n)")
-		estimators = flag.String("estimators", "BFCE,ZOE,SRC", "comma-separated estimator names: "+strings.Join(rfidest.Estimators(), " | "))
-		eps        = flag.Float64("eps", 0.05, "confidence interval epsilon")
-		delta      = flag.Float64("delta", 0.05, "error probability delta")
-		trials     = flag.Int("trials", 5, "estimations per (system, estimator) job")
-		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS; results identical either way)")
-		seed       = flag.Uint64("seed", 1, "root seed: pins populations and every trial's session")
-		tagLevel   = flag.Bool("tag-level", false, "materialize tag populations (default: exact synthetic channel)")
-		noise      = flag.Float64("noise", 0, "symmetric per-slot reader error rate applied to half the systems")
-		timeout    = flag.Duration("timeout", 0, "cancel the batch after this long (0 = no limit)")
-		verbose    = flag.Bool("v", false, "also print one line per job")
-		metrics    = flag.String("metrics", "", `dump an observability snapshot on exit: "text" or "json"`)
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		systems      = flag.Int("systems", 8, "number of simulated deployments")
+		minN         = flag.Float64("min-n", 10000, "smallest deployment cardinality")
+		maxN         = flag.Float64("max-n", 1000000, "largest deployment cardinality (log-spaced up from min-n)")
+		estimators   = flag.String("estimators", "BFCE,ZOE,SRC", "comma-separated estimator names: "+strings.Join(rfidest.Estimators(), " | "))
+		eps          = flag.Float64("eps", 0.05, "confidence interval epsilon")
+		delta        = flag.Float64("delta", 0.05, "error probability delta")
+		trials       = flag.Int("trials", 5, "estimations per (system, estimator) job")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS; results identical either way)")
+		seed         = flag.Uint64("seed", 1, "root seed: pins populations and every trial's session")
+		tagLevel     = flag.Bool("tag-level", false, "materialize tag populations (default: exact synthetic channel)")
+		noise        = flag.Float64("noise", 0, "symmetric per-slot reader error rate applied to half the systems")
+		faults       = flag.Float64("faults", 0, "channel fault severity in [0, 1]: scales burst noise, erasures, truncation and reader stalls on every system (0 = no injection)")
+		retry        = flag.Int("retry", 0, "re-run a failed or saturated trial up to this many times before degrading the job")
+		retryBackoff = flag.Float64("retry-backoff", 0, "simulated air-time backoff in seconds before retry k (doubles each attempt)")
+		trialTimeout = flag.Duration("trial-timeout", 0, "per-trial deadline; a timed-out attempt is retried like any other failure (0 = no limit)")
+		timeout      = flag.Duration("timeout", 0, "cancel the batch after this long (0 = no limit)")
+		verbose      = flag.Bool("v", false, "also print one line per job")
+		metrics      = flag.String("metrics", "", `dump an observability snapshot on exit: "text" or "json"`)
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
 
 	if *systems < 1 || *trials < 1 || *minN < 1 || *maxN < *minN {
 		fmt.Fprintln(os.Stderr, "rfidfleet: need systems >= 1, trials >= 1, 1 <= min-n <= max-n")
+		return 2
+	}
+	if !(*faults >= 0 && *faults <= 1) {
+		fmt.Fprintf(os.Stderr, "rfidfleet: -faults must be in [0, 1], got %v\n", *faults)
+		return 2
+	}
+	if *retry < 0 || !(*retryBackoff >= 0) || *trialTimeout < 0 {
+		fmt.Fprintln(os.Stderr, "rfidfleet: need retry >= 0, retry-backoff >= 0, trial-timeout >= 0")
 		return 2
 	}
 	if *metrics != "" && *metrics != "text" && *metrics != "json" {
@@ -109,7 +124,12 @@ func run() int {
 		}()
 	}
 
-	jobs := buildWorkload(*systems, *minN, *maxN, names, *eps, *delta, *trials, *seed, *tagLevel, *noise)
+	jobs := buildWorkload(workloadSpec{
+		systems: *systems, minN: *minN, maxN: *maxN, names: names,
+		eps: *eps, delta: *delta, trials: *trials, seed: *seed,
+		tagLevel: *tagLevel, noise: *noise,
+		faults: *faults, retry: *retry, retryBackoff: *retryBackoff,
+	})
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -121,7 +141,7 @@ func run() int {
 	fmt.Printf("fleet: %d systems x %d estimators x %d trials = %d estimations (workers=%d seed=%d)\n",
 		*systems, len(names), *trials, *systems*len(names)**trials, *workers, *seed)
 
-	rep, err := fleet.Run(ctx, fleet.Config{Workers: *workers, Seed: *seed, Observer: observer}, jobs)
+	rep, err := fleet.Run(ctx, fleet.Config{Workers: *workers, Seed: *seed, Observer: observer, TrialTimeout: *trialTimeout}, jobs)
 	if err != nil && rep == nil {
 		fmt.Fprintf(os.Stderr, "rfidfleet: %v\n", err)
 		return 1
@@ -135,22 +155,28 @@ func run() int {
 			case r.Err != nil:
 				fmt.Printf("  %-28s FAILED at trial %d: %v\n", r.Label(), r.FailedAt, r.Err)
 			default:
-				fmt.Printf("  %-28s n=%-8d trials=%d mean-err=%.4f max-err=%.4f air=%.3fs\n",
-					r.Label(), r.Job.System.N(), len(r.Estimates), r.MeanAbsErr, r.MaxAbsErr, r.AirSeconds)
+				suffix := ""
+				if r.Degraded {
+					suffix = fmt.Sprintf(" DEGRADED (retries=%d degraded-trials=%d)", r.Retries, r.DegradedTrials)
+				} else if r.Retries > 0 {
+					suffix = fmt.Sprintf(" retries=%d", r.Retries)
+				}
+				fmt.Printf("  %-28s n=%-8d trials=%d mean-err=%.4f max-err=%.4f air=%.3fs%s\n",
+					r.Label(), r.Job.System.N(), len(r.Estimates), r.MeanAbsErr, r.MaxAbsErr, r.AirSeconds, suffix)
 			}
 		}
 	}
 
 	fmt.Println()
-	fmt.Printf("%-12s %5s %7s %10s %9s %10s %12s\n",
-		"estimator", "jobs", "trials", "mean-err", "p90-err", "air-time", "failed")
+	fmt.Printf("%-12s %5s %7s %10s %9s %10s %8s %9s %8s\n",
+		"estimator", "jobs", "trials", "mean-err", "p90-err", "air-time", "failed", "degraded", "retries")
 	for _, g := range rep.PerEstimator() {
-		fmt.Printf("%-12s %5d %7d %10.4f %9.4f %9.3fs %12d\n",
-			g.Estimator, g.Jobs, g.Trials, g.MeanAbsErr, g.P90AbsErr, g.AirSeconds, g.Failed)
+		fmt.Printf("%-12s %5d %7d %10.4f %9.4f %9.3fs %8d %9d %8d\n",
+			g.Estimator, g.Jobs, g.Trials, g.MeanAbsErr, g.P90AbsErr, g.AirSeconds, g.Failed, g.Degraded, g.Retries)
 	}
 	fmt.Println()
-	fmt.Printf("totals: %d trials (%d jobs failed, %d skipped)  mean-err=%.4f p50=%.4f p90=%.4f p99=%.4f max=%.4f\n",
-		rep.Trials, rep.Failed, rep.Skipped, rep.MeanAbsErr, rep.P50AbsErr, rep.P90AbsErr, rep.P99AbsErr, rep.MaxAbsErr)
+	fmt.Printf("totals: %d trials (%d jobs failed, %d skipped, %d degraded, %d retries)  mean-err=%.4f p50=%.4f p90=%.4f p99=%.4f max=%.4f\n",
+		rep.Trials, rep.Failed, rep.Skipped, rep.Degraded, rep.Retries, rep.MeanAbsErr, rep.P50AbsErr, rep.P90AbsErr, rep.P99AbsErr, rep.MaxAbsErr)
 	fmt.Printf("time:   simulated air %.2fs, wall %.2fs, throughput %.1f estimations/s\n",
 		rep.AirSeconds, rep.WallSeconds, rep.Throughput)
 	if err != nil {
@@ -163,41 +189,64 @@ func run() int {
 	return 0
 }
 
+// workloadSpec bundles the workload-shaping flags.
+type workloadSpec struct {
+	systems      int
+	minN, maxN   float64
+	names        []string
+	eps, delta   float64
+	trials       int
+	seed         uint64
+	tagLevel     bool
+	noise        float64
+	faults       float64
+	retry        int
+	retryBackoff float64
+}
+
 // buildWorkload lays out the mixed batch: `systems` deployments with
 // log-spaced cardinalities cycling through the three tagID distributions,
 // every other one noisy when a noise rate is set, crossed with the chosen
-// estimators. Everything derives from seed, so a fixed command line is a
-// fixed workload.
-func buildWorkload(systems int, minN, maxN float64, names []string, eps, delta float64, trials int, seed uint64, tagLevel bool, noise float64) []fleet.Job {
+// estimators. A non-zero fault severity installs the severity-scaled
+// channel-fault plan on every system; retry/backoff ride along on every
+// job. Everything derives from seed, so a fixed command line is a fixed
+// workload.
+func buildWorkload(spec workloadSpec) []fleet.Job {
 	dists := []rfidest.Distribution{rfidest.Uniform, rfidest.ApproxNormal, rfidest.Normal}
 	var jobs []fleet.Job
-	for i := 0; i < systems; i++ {
+	for i := 0; i < spec.systems; i++ {
 		frac := 0.0
-		if systems > 1 {
-			frac = float64(i) / float64(systems-1)
+		if spec.systems > 1 {
+			frac = float64(i) / float64(spec.systems-1)
 		}
-		n := int(math.Round(minN * math.Pow(maxN/minN, frac)))
-		opts := []rfidest.SystemOption{rfidest.WithSeed(seed + uint64(i))}
+		n := int(math.Round(spec.minN * math.Pow(spec.maxN/spec.minN, frac)))
+		opts := []rfidest.SystemOption{rfidest.WithSeed(spec.seed + uint64(i))}
 		variant := "synthetic"
-		if tagLevel {
+		if spec.tagLevel {
 			opts = append(opts, rfidest.WithDistribution(dists[i%len(dists)]))
 			variant = dists[i%len(dists)].String()
 		} else {
 			opts = append(opts, rfidest.WithSynthetic())
 		}
-		if noise > 0 && i%2 == 1 {
-			opts = append(opts, rfidest.WithNoise(noise, noise))
+		if spec.noise > 0 && i%2 == 1 {
+			opts = append(opts, rfidest.WithNoise(spec.noise, spec.noise))
 			variant += "+noise"
 		}
+		if spec.faults > 0 {
+			opts = append(opts, rfidest.WithFaults(rfidest.FaultSeverity(spec.faults)))
+			variant += "+faults"
+		}
 		sys := rfidest.NewSystem(n, opts...)
-		for _, name := range names {
+		for _, name := range spec.names {
 			jobs = append(jobs, fleet.Job{
-				Name:      fmt.Sprintf("n=%d(%s)/%s", n, variant, name),
-				System:    sys,
-				Estimator: name,
-				Epsilon:   eps,
-				Delta:     delta,
-				Trials:    trials,
+				Name:                fmt.Sprintf("n=%d(%s)/%s", n, variant, name),
+				System:              sys,
+				Estimator:           name,
+				Epsilon:             spec.eps,
+				Delta:               spec.delta,
+				Trials:              spec.trials,
+				Retries:             spec.retry,
+				RetryBackoffSeconds: spec.retryBackoff,
 			})
 		}
 	}

@@ -46,6 +46,30 @@
 // experiments CLIs expose the registry via -metrics text|json; see
 // examples/observability and DESIGN.md §10.
 //
+// # Faults, retries and degraded results
+//
+// WithFaults installs a deterministic channel-fault injector on a system
+// (Gilbert–Elliott burst noise, slot erasures, frame truncation, reader
+// stalls; FaultSeverity scales all four from one knob in [0, 1]) and
+// WithRetry re-runs a saturated round with fresh frame seeds under a
+// simulated air-time budget:
+//
+//	sys := rfidest.NewSystem(n, rfidest.WithFaults(rfidest.FaultSeverity(0.5)))
+//	est, err := sys.Run(ctx, rfidest.WithRetry(2, 0.5))
+//
+// The degraded-result contract: a run whose every attempt observed a
+// degenerate all-idle/all-busy vector still returns its estimate, with
+// Estimate.Saturated set — the value is a resolution bound on the true
+// cardinality, not a measurement — and Estimate.Retries reporting what
+// recovery cost. Degradation is never an error. Both mechanisms are
+// strictly passive by default (a zero plan and an unused retry budget
+// replay bit-identically to a plain run), and fault schedules are a pure
+// function of (system seed, plan, session salt). The fleet runner extends
+// the same policy to batches: jobs with retries degrade to partial
+// results (JobResult.Degraded) instead of failing, with exponential
+// backoff charged in simulated air time and optional per-trial context
+// deadlines. See internal/faults and DESIGN.md §11.
+//
 // # What is simulated
 //
 // A System is a population of tags behind a time-slotted reader-talks-first

@@ -31,6 +31,17 @@ type Estimate struct {
 	// (each transmission drains an active tag's battery). -1 if the
 	// session's engine does not meter energy.
 	TagTransmissions int
+	// Saturated reports that the final protocol round observed a
+	// degenerate all-idle or all-busy vector and N is a clamp artifact
+	// rather than a measurement (BFCE only; other protocols leave it
+	// false). Under WithRetry a true value means every attempt saturated —
+	// the degraded-result contract: the estimate is still returned, but N
+	// is only a resolution bound on the true cardinality.
+	Saturated bool
+	// Retries is how many times the run was re-executed after a saturated
+	// attempt (see WithRetry). Cost fields aggregate over all attempts; N,
+	// Guarded and Saturated describe the last one.
+	Retries int
 }
 
 func fromResult(r estimators.Result) Estimate {
@@ -41,6 +52,7 @@ func fromResult(r estimators.Result) Estimate {
 		ReaderBits: r.Cost.ReaderBits,
 		Rounds:     r.Rounds,
 		Guarded:    r.Guarded,
+		Saturated:  r.Saturated,
 	}
 }
 
@@ -49,7 +61,7 @@ func fromResult(r estimators.Result) Estimate {
 //
 // Deprecated: use Run with WithAccuracy; BFCE is Run's default estimator.
 func (s *System) EstimateBFCE(epsilon, delta float64) (Estimate, error) {
-	return s.Run(context.Background(), WithAccuracy(epsilon, delta))
+	return s.Run(context.Background(), WithAccuracy(epsilon, delta)) //lint:allow ctxbg deprecated pre-context wrapper; signature cannot thread a ctx
 }
 
 // Estimators returns the names accepted by EstimateWith, sorted. The set
@@ -67,7 +79,7 @@ func Estimators() []string {
 //
 // Deprecated: use Run with WithEstimator and WithAccuracy.
 func (s *System) EstimateWith(name string, epsilon, delta float64) (Estimate, error) {
-	return s.Run(context.Background(), WithEstimator(name), WithAccuracy(epsilon, delta))
+	return s.Run(context.Background(), WithEstimator(name), WithAccuracy(epsilon, delta)) //lint:allow ctxbg deprecated pre-context wrapper; signature cannot thread a ctx
 }
 
 // EstimateWithSalt runs the named protocol over the session addressed by
@@ -79,7 +91,7 @@ func (s *System) EstimateWith(name string, epsilon, delta float64) (Estimate, er
 //
 // Deprecated: use Run with WithEstimator, WithAccuracy and WithSalt.
 func (s *System) EstimateWithSalt(name string, epsilon, delta float64, salt uint64) (Estimate, error) {
-	return s.Run(context.Background(), WithEstimator(name), WithAccuracy(epsilon, delta), WithSalt(salt))
+	return s.Run(context.Background(), WithEstimator(name), WithAccuracy(epsilon, delta), WithSalt(salt)) //lint:allow ctxbg deprecated pre-context wrapper; signature cannot thread a ctx
 }
 
 // BFCEDetail runs BFCE and returns the protocol's internal diagnostics
@@ -100,7 +112,7 @@ type BFCEDetail struct {
 //
 // Deprecated: use RunBFCEDetail.
 func (s *System) EstimateBFCEDetail(epsilon, delta float64) (BFCEDetail, error) {
-	return s.RunBFCEDetail(context.Background(), WithAccuracy(epsilon, delta))
+	return s.RunBFCEDetail(context.Background(), WithAccuracy(epsilon, delta)) //lint:allow ctxbg deprecated pre-context wrapper; signature cannot thread a ctx
 }
 
 // ConstantTimeBudget returns the paper's closed-form bound on BFCE's air

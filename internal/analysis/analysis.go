@@ -106,7 +106,7 @@ func (d Diagnostic) String() string {
 
 // All returns the registry of domain analyzers, in report order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, AtomicMix, FloatCmp, SeedLit, BoolFrame, MetricReg}
+	return []*Analyzer{DetRand, AtomicMix, FloatCmp, SeedLit, BoolFrame, MetricReg, CtxBg}
 }
 
 // Check runs one analyzer over one loaded package, applies //lint:allow

@@ -1,0 +1,31 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rfidest/internal/analysis"
+	"rfidest/internal/analysis/analysistest"
+)
+
+func TestCtxBgGolden(t *testing.T) {
+	analysistest.Run(t, analysis.CtxBg, "testdata/ctxbg")
+}
+
+func TestCtxBgScope(t *testing.T) {
+	for rel, covered := range map[string]bool{
+		".":                   true,
+		"internal/fleet":      true,
+		"internal/experiment": true,
+		"internal/channel":    true,
+		"internal/analysis":   true,
+		"cmd":                 false,
+		"cmd/rfidfleet":       false,
+		"cmd/experiments":     false,
+		"examples":            false,
+		"examples/quickstart": false,
+	} {
+		if got := analysis.CtxBg.AppliesTo(rel); got != covered {
+			t.Errorf("ctxbg covers %q = %v, want %v", rel, got, covered)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Package ctxbgtest seeds deliberate cancellation-plumbing violations for
+// the ctxbg golden test: freshly minted root contexts inside library-style
+// code, plus the sanctioned //lint:allow escape hatch.
+package ctxbgtest
+
+import "context"
+
+// detachedRun severs the caller's deadline by minting its own roots.
+func detachedRun() context.Context {
+	ctx := context.Background() // want `context\.Background mints a root context inside library code`
+	_ = context.TODO()          // want `context\.TODO mints a root context inside library code`
+	return ctx
+}
+
+// threadedRun is the correct shape: the caller's context flows through.
+func threadedRun(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+// defaultedRun is the sanctioned escape hatch: a nil-ctx convenience
+// default, suppressed with a reason at the use site.
+func defaultedRun(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background() //lint:allow ctxbg golden-test fixture for trailing suppression
+	}
+	return ctx
+}
+
+// defaultedRunAbove exercises the standalone (line-above) suppression form.
+func defaultedRunAbove() context.Context {
+	//lint:allow ctxbg golden-test fixture for standalone suppression
+	return context.TODO()
+}
+
+// valueUseOK references the context package without minting a root.
+func valueUseOK(ctx context.Context) interface{} {
+	return ctx.Value("key")
+}

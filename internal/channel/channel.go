@@ -133,6 +133,47 @@ func (b BitVec) or(o BitVec) BitVec {
 	return b
 }
 
+// Words returns the number of 64-bit words backing the frame.
+func (b BitVec) Words() int {
+	if b.bits == nil {
+		return 0
+	}
+	return b.bits.Words()
+}
+
+// Word returns backing word i of the busy bits (slots 64i .. 64i+63).
+// Channel-error models (NoisyEngine, the internal/faults injectors) read
+// words to batch per-slot decisions into one XOR per word.
+func (b BitVec) Word(i int) uint64 { return b.bits.Word(i) }
+
+// XorWord flips the busy/idle state of the slots selected by mask within
+// backing word i. Mask bits at positions past Len are ignored.
+func (b BitVec) XorWord(i int, mask uint64) { b.bits.XorWord(i, mask) }
+
+// ClearFrom marks every slot at index >= from idle, keeping the frame
+// length. A truncated or desynchronized observation loses its tail: the
+// reader sensed those slots but recovered no signal, so they read idle.
+func (b BitVec) ClearFrom(from int) {
+	if b.bits == nil {
+		return
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from >= b.bits.Len() {
+		return
+	}
+	for wi := from >> 6; wi < b.bits.Words(); wi++ {
+		w := b.bits.Word(wi)
+		if wi == from>>6 {
+			w &^= 1<<uint(from&63) - 1 // slots below `from` survive
+		}
+		if w != 0 {
+			b.bits.XorWord(wi, w)
+		}
+	}
+}
+
 // Equal reports whether two frames have identical length and slots.
 func (b BitVec) Equal(o BitVec) bool {
 	if b.bits == nil || o.bits == nil {

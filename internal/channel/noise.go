@@ -1,6 +1,9 @@
 package channel
 
-import "rfidest/internal/xrand"
+import (
+	"rfidest/internal/stats"
+	"rfidest/internal/xrand"
+)
 
 // NoisyEngine wraps an Engine with a symmetric-error channel model: each
 // observed slot is independently misread by the reader. The paper assumes
@@ -19,9 +22,12 @@ type NoisyEngine struct {
 	rng       *xrand.Rand
 }
 
-// NewNoisyEngine wraps inner with the given per-slot error rates.
+// NewNoisyEngine wraps inner with the given per-slot error rates. The
+// range check runs through stats.InClosedUnitInterval so NaN rates are
+// rejected too (a NaN fails `< 0 || > 1` because NaN comparisons are
+// always false, and a NaN rate would silently disable the noise draw).
 func NewNoisyEngine(inner Engine, falseBusy, falseIdle float64, seed uint64) *NoisyEngine {
-	if falseBusy < 0 || falseBusy > 1 || falseIdle < 0 || falseIdle > 1 {
+	if !stats.InClosedUnitInterval(falseBusy) || !stats.InClosedUnitInterval(falseIdle) {
 		panic("channel: error rates out of [0,1]")
 	}
 	return &NoisyEngine{

@@ -94,6 +94,26 @@ func (r *Reader) EndPhase() {
 // NextSeed draws the next random seed the reader will broadcast.
 func (r *Reader) NextSeed() uint64 { return r.seeds.Uint64() }
 
+// Staller is implemented by engines that model reader-side stalls: extra
+// air time (retransmission, resynchronization) consumed during an engine
+// call that is not part of the frame's slot count. The Reader drains the
+// pending cost after every engine call and charges it to the session
+// clock, so stalls land in whatever phase span is open.
+type Staller interface {
+	// TakeStall returns the cost accrued since the last call and resets it.
+	TakeStall() timing.Cost
+}
+
+// drainStall charges any stall cost the engine accrued during the last
+// call. Engines that do not stall skip this with one failed assertion.
+func (r *Reader) drainStall() {
+	if st, ok := r.Engine.(Staller); ok {
+		if c := st.TakeStall(); c != (timing.Cost{}) {
+			r.clock.Charge(c)
+		}
+	}
+}
+
 // BroadcastParams charges the clock for a reader transmission of the given
 // number of bits (command, frame size, seeds, persistence numerator, ...).
 func (r *Reader) BroadcastParams(bits int) {
@@ -107,6 +127,7 @@ func (r *Reader) BroadcastParams(bits int) {
 func (r *Reader) ExecuteFrame(req FrameRequest) BitVec {
 	b := r.Engine.RunFrame(req)
 	r.clock.Listen(b.Len())
+	r.drainStall()
 	busy := b.CountBusy()
 	r.obs.Frame(r.phase, obs.FrameStats{W: req.W, Observed: b.Len(), Busy: busy})
 	r.emit(TraceEvent{
@@ -125,6 +146,7 @@ func (r *Reader) ScanFirstBusy(req FrameRequest, maxScan int) int {
 		maxScan = req.W
 	}
 	pos := r.Engine.FirstResponse(req, maxScan)
+	r.drainStall()
 	if pos < 0 {
 		r.clock.Listen(maxScan)
 		r.obs.Listen(r.phase, maxScan)

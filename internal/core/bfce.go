@@ -6,6 +6,7 @@ import (
 
 	"rfidest/internal/channel"
 	"rfidest/internal/obs"
+	"rfidest/internal/stats"
 	"rfidest/internal/timing"
 )
 
@@ -84,11 +85,14 @@ func (c Config) Normalize() (Config, error) {
 		return c, errors.New("core: W must be positive")
 	case c.K <= 0:
 		return c, errors.New("core: K must be positive")
-	case c.C <= 0 || c.C > 1:
+	// The float ranges are phrased positively (via stats helpers) so NaN
+	// fails them: a negated `<= 0 || > 1` check lets NaN through because
+	// every comparison against NaN is false.
+	case !(c.C > 0 && c.C <= 1):
 		return c, errors.New("core: C must be in (0, 1]")
-	case c.Epsilon <= 0 || c.Epsilon >= 1:
+	case !stats.InUnitInterval(c.Epsilon):
 		return c, errors.New("core: Epsilon must be in (0, 1)")
-	case c.Delta <= 0 || c.Delta >= 1:
+	case !stats.InUnitInterval(c.Delta):
 		return c, errors.New("core: Delta must be in (0, 1)")
 	case c.PDenom < 2:
 		return c, errors.New("core: PDenom must be at least 2")
@@ -115,6 +119,7 @@ type Result struct {
 	ProbeRounds int  // probe adjustments performed
 	Feasible    bool // Theorem 3 had a feasible p_o at n̂_low
 	Saturated   bool // a phase saw an all-0s/all-1s vector and was clamped
+	Retries     int  // degenerate-round re-runs performed (EstimateRetry)
 
 	RhoRough float64 // idle fraction observed in the rough phase
 	RhoFinal float64 // idle fraction observed in the accurate phase

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNormalizeRejectsNonFinite pins the NaN hole fixed in this package:
+// a NaN ε (or δ, or C) fails both halves of a negated `<= 0 || >= 1`
+// range check, so it used to pass Normalize and poison every downstream
+// persistence computation. The check is now positively phrased.
+func TestNormalizeRejectsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	bad := []Config{
+		{Epsilon: nan},
+		{Delta: nan},
+		{C: nan},
+		{Epsilon: inf},
+		{Delta: inf},
+		{C: inf},
+		{Epsilon: -inf},
+		{Epsilon: 1.5},
+		{Delta: -0.1},
+		{C: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := cfg.Normalize(); err == nil {
+			t.Errorf("case %d: Normalize accepted degenerate config %+v", i, cfg)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted degenerate config %+v", i, cfg)
+		}
+	}
+	// The zero config still normalizes to the paper defaults.
+	cfg, err := Config{}.Normalize()
+	if err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if cfg != DefaultConfig() {
+		t.Fatalf("zero config normalized to %+v, want defaults", cfg)
+	}
+}

@@ -75,6 +75,18 @@ func (m *Monitor) Estimate(r *channel.Reader) (Result, error) {
 		return res, err
 	}
 	m.rounds++
+	if res.Saturated {
+		// A saturated round produced a clamped estimate (the observation was
+		// all-idle or all-busy), which is an upper/lower resolution bound,
+		// not a measurement. Warm-starting the next round from it would feed
+		// a fabricated lower bound into the optimal-p search — after a
+		// population crash, every subsequent fast round would keep probing
+		// at the stale rate and keep saturating. Drop the warm-start state
+		// so the next round runs the full cold protocol.
+		m.lastPn = 0
+		m.lastN = 0
+		return res, nil
+	}
 	if res.PsNum > 0 {
 		m.lastPn = res.PsNum
 	}

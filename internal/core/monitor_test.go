@@ -132,6 +132,48 @@ func TestMonitorTracksDrift(t *testing.T) {
 	}
 }
 
+func TestMonitorSaturatedRoundDropsWarmStart(t *testing.T) {
+	m, err := NewMonitor(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.FastRounds = 8
+	pop := tags.Generate(150000, tags.T1, 75)
+	for round := 0; round < 2; round++ {
+		r := channel.NewReader(channel.NewTagEngine(pop, channel.IdealRN), uint64(140+round))
+		if _, err := m.Estimate(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The population crashes to zero mid-monitoring. The next fast round
+	// observes an all-idle frame and saturates.
+	empty := tags.Generate(0, tags.T1, 76)
+	res, err := m.Estimate(channel.NewReader(channel.NewTagEngine(empty, channel.IdealRN), 142))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Fatalf("crash round not saturated: %+v", res)
+	}
+	if res.Cost.TagSlots != 8192 {
+		t.Fatalf("crash round ran %d slots, expected an 8192-slot fast round", res.Cost.TagSlots)
+	}
+	// The saturated result is a clamp artifact, not a measurement. The
+	// round after it must re-run the full cold protocol; before the fix the
+	// monitor warm-started from the clamped estimate and stayed in the fast
+	// path (8192 slots) with a fabricated lower bound.
+	next, err := m.Estimate(channel.NewReader(channel.NewTagEngine(empty, channel.IdealRN), 143))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Cost.TagSlots <= 8192 {
+		t.Fatalf("post-saturation round warm-started: only %d slots", next.Cost.TagSlots)
+	}
+	if next.ProbeRounds == 0 {
+		t.Fatalf("post-saturation round skipped the probe phase: %+v", next)
+	}
+}
+
 func TestMonitorNilSession(t *testing.T) {
 	m, err := NewMonitor(Config{})
 	if err != nil {

@@ -1,0 +1,48 @@
+package core
+
+import "rfidest/internal/channel"
+
+// RetryPolicy bounds the re-execution of degenerate BFCE rounds. The zero
+// policy never retries, so EstimateRetry with it is exactly Estimate.
+type RetryPolicy struct {
+	// MaxRetries is how many times a saturated or infeasible round may be
+	// re-run (0 = never).
+	MaxRetries int
+	// BudgetSeconds caps the cumulative simulated air time across the
+	// round and its re-runs; once the total reaches it, no further re-run
+	// starts. 0 means unbounded.
+	BudgetSeconds float64
+}
+
+// EstimateRetry runs Estimate and re-runs it while the result is saturated
+// (a phase observed a degenerate all-idle/all-busy vector) or infeasible
+// (Theorem 3 had no valid p_o at the rough lower bound), within the
+// policy's attempt and air-time budget.
+//
+// Each re-run continues the session's seed stream, so its frames carry
+// fresh seeds — the "fresh salts" a real reader would broadcast after a
+// failed round — while remaining a pure function of the session salt. The
+// returned Result carries the last attempt's estimate and diagnostics with
+// the cost counters, air time and probe rounds summed over every attempt,
+// and Retries counting the re-runs.
+func (e *Estimator) EstimateRetry(r *channel.Reader, pol RetryPolicy) (Result, error) {
+	total, err := e.Estimate(r)
+	if err != nil {
+		return total, err
+	}
+	for (total.Saturated || !total.Feasible) && total.Retries < pol.MaxRetries {
+		if pol.BudgetSeconds > 0 && total.Seconds >= pol.BudgetSeconds {
+			break
+		}
+		res, err := e.Estimate(r)
+		if err != nil {
+			return total, err
+		}
+		res.Retries = total.Retries + 1
+		res.ProbeRounds += total.ProbeRounds
+		res.Seconds += total.Seconds
+		res.Cost.Add(total.Cost)
+		total = res
+	}
+	return total, nil
+}

@@ -38,11 +38,12 @@ func (b *BFCE) Estimate(r *channel.Reader, acc Accuracy) (Result, error) {
 	}
 	cost := r.Cost().Sub(start)
 	return Result{
-		Estimate: res.Estimate,
-		Rounds:   1,
-		Slots:    cost.TagSlots,
-		Cost:     cost,
-		Seconds:  cost.Seconds(r.Profile),
-		Guarded:  res.Feasible,
+		Estimate:  res.Estimate,
+		Rounds:    1,
+		Slots:     cost.TagSlots,
+		Cost:      cost,
+		Seconds:   cost.Seconds(r.Profile),
+		Guarded:   res.Feasible,
+		Saturated: res.Saturated,
 	}, nil
 }

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"rfidest/internal/channel"
+	"rfidest/internal/stats"
 	"rfidest/internal/timing"
 )
 
@@ -30,9 +31,11 @@ type Accuracy struct {
 // evaluation.
 var Default = Accuracy{Epsilon: 0.05, Delta: 0.05}
 
-// Validate panics if the accuracy requirement is degenerate.
+// Validate panics if the accuracy requirement is degenerate. NaN and ±Inf
+// parameters fail the positively-phrased range check along with
+// out-of-range values.
 func (a Accuracy) Validate() {
-	if a.Epsilon <= 0 || a.Epsilon >= 1 || a.Delta <= 0 || a.Delta >= 1 {
+	if !stats.InUnitInterval(a.Epsilon) || !stats.InUnitInterval(a.Delta) {
 		panic("estimators: accuracy parameters must be in (0, 1)")
 	}
 }
@@ -45,6 +48,11 @@ type Result struct {
 	Cost     timing.Cost // full communication counters
 	Seconds  float64     // air time under the session profile
 	Guarded  bool        // the (ε, δ) guarantee machinery was in effect
+	// Saturated reports that a phase observed a degenerate all-idle or
+	// all-busy vector and the estimate is a clamp artifact, not a
+	// measurement. Only BFCE distinguishes saturation; other protocols
+	// leave it false.
+	Saturated bool
 }
 
 // Estimator is a cardinality estimation protocol.

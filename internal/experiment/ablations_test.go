@@ -104,7 +104,7 @@ func TestBakeoffRunsAll(t *testing.T) {
 }
 
 func TestRegistryLookup(t *testing.T) {
-	if len(IDs()) != 24 {
+	if len(IDs()) != 25 {
 		t.Fatalf("registry size = %d", len(IDs()))
 	}
 	for _, id := range IDs() {

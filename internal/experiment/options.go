@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"rfidest/internal/channel"
+	"rfidest/internal/faults"
 	"rfidest/internal/obs"
 	"rfidest/internal/tags"
 	"rfidest/internal/xrand"
@@ -48,6 +49,16 @@ type Options struct {
 	// Observer, when non-nil, is attached to every session an experiment
 	// opens; observation is passive, so tables are identical either way.
 	Observer obs.Observer
+	// Faults, when positive, installs the severity-scaled channel-fault
+	// plan (see internal/faults) on every session an experiment opens —
+	// the whole suite then reports what the paper's figures look like over
+	// a lossy channel. 0 (the default) keeps every table bit-identical to
+	// the fault-free baseline.
+	Faults float64
+	// Retries overrides the degenerate-round retry budget of experiments
+	// that exercise the retry policy (currently the "faults" sweep);
+	// 0 keeps their defaults.
+	Retries int
 }
 
 // DefaultOptions is used by the experiments binary and the benches.
@@ -70,7 +81,7 @@ func (o Options) session(n int, dist tags.Distribution, salt uint64) *channel.Re
 	} else {
 		eng = channel.NewBallsEngine(n, seed)
 	}
-	return o.observed(channel.NewReader(eng, seed+1))
+	return o.observed(channel.NewReader(o.faulted(eng, seed), seed+1))
 }
 
 // tagSession is session pinned to per-tag fidelity with a specific hash
@@ -78,7 +89,17 @@ func (o Options) session(n int, dist tags.Distribution, salt uint64) *channel.Re
 func (o Options) tagSession(n int, dist tags.Distribution, mode channel.HashMode, salt uint64) *channel.Reader {
 	seed := xrand.Combine(o.Seed, uint64(n), uint64(dist), uint64(mode), salt)
 	eng := channel.NewTagEngine(tags.Generate(n, dist, seed), mode)
-	return o.observed(channel.NewReader(eng, seed+1))
+	return o.observed(channel.NewReader(o.faulted(eng, seed), seed+1))
+}
+
+// faulted wraps eng in the severity-scaled fault injector when the global
+// fault knob is set (same salt offset as System.sessionAt: engine at seed,
+// reader at seed+1, injector at seed+3).
+func (o Options) faulted(eng channel.Engine, seed uint64) channel.Engine {
+	if o.Faults > 0 {
+		return faults.New(eng, faults.Severity(o.Faults), seed+3)
+	}
+	return eng
 }
 
 // observed attaches the configured observer, if any, to a fresh session.

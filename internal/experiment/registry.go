@@ -35,6 +35,7 @@ var registry = []struct {
 	{"ablation-noise", "channel noise sweep", AblationNoise},
 	{"ablation-zoecost", "ZOE vs seed-free ZOE vs BFCE: cost attribution", AblationZOECost},
 	{"ablation-capture", "capture effect: collision-counting vs bit-slot protocols", AblationCapture},
+	{"faults", "channel-fault severity sweep: BFCE accuracy/saturation, with and without retries", Faults},
 	{"bakeoff", "all ten estimators side by side", Bakeoff},
 	{"crossover", "exact C1G2 inventory vs BFCE estimation", InventoryCrossover},
 	{"monitoring", "warm-started monitoring + differential snapshots under drift", Monitoring},

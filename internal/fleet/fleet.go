@@ -29,6 +29,17 @@ type Job struct {
 	Epsilon, Delta float64
 	// Trials is how many independent estimations to run (0 means 1).
 	Trials int
+	// Retries is how many times a failed or saturated trial may be re-run
+	// before the job degrades (0 = no retry, the historical behaviour:
+	// the first error fails the job). Retry attempt k of trial t runs over
+	// the session addressed by Combine(seed, job, t, k), so retried
+	// batches replay bit-identically too.
+	Retries int
+	// RetryBackoffSeconds is the simulated air time charged before retry
+	// attempt k (scaled by 2^(k-1) — exponential backoff). It models the
+	// quiet period a real reader waits out after a failed round and is
+	// accounted in AirSeconds/BackoffSeconds; no wall-clock sleep happens.
+	RetryBackoffSeconds float64
 	// Observer, when non-nil, receives the job's session and phase spans.
 	// It is teed with the batch-wide Config.Observer; observation is
 	// passive, so attaching one never perturbs results.
@@ -43,11 +54,26 @@ type JobResult struct {
 	// Estimates holds one entry per completed trial, in trial order.
 	Estimates []rfidest.Estimate
 	// Err is the first trial error; trials after a failure are not run.
-	// FailedAt is that trial's index (-1 when Err is nil).
+	// FailedAt is that trial's index (-1 when Err is nil). With Retries
+	// configured, a trial that exhausts its retries degrades the job (see
+	// Degraded) instead of setting Err — only batch cancellation and
+	// retry-exempt failures land here.
 	Err      error
 	FailedAt int
 	// Skipped is set when cancellation struck before the job started.
 	Skipped bool
+
+	// Degraded reports the job returned a partial or reduced-quality
+	// result: a trial exhausted its retries (and was dropped), or a
+	// trial's accepted estimate was still saturated after retrying.
+	// DegradedTrials counts the latter.
+	Degraded       bool
+	DegradedTrials int
+	// Retries is the total number of re-run attempts across the job's
+	// trials; BackoffSeconds the simulated backoff time they cost (also
+	// included in AirSeconds).
+	Retries        int
+	BackoffSeconds float64
 
 	// MeanAbsErr and MaxAbsErr summarize |n̂−n|/n over the completed
 	// trials against the System's ground truth (NaN-free: 0 when no trial
@@ -74,9 +100,11 @@ func (r JobResult) Label() string {
 type Report struct {
 	Jobs []JobResult
 
-	Trials  int // completed trials across all jobs
-	Failed  int // jobs that stopped on an error
-	Skipped int // jobs cancelled before starting
+	Trials   int // completed trials across all jobs
+	Failed   int // jobs that stopped on an error
+	Skipped  int // jobs cancelled before starting
+	Degraded int // jobs that returned a degraded result
+	Retries  int // trial re-runs across all jobs
 
 	// Accuracy of all completed trials: mean and quantiles of |n̂−n|/n.
 	MeanAbsErr float64
@@ -104,6 +132,13 @@ type Config struct {
 	// spans across the whole batch — typically an *obs.Registry shared by
 	// all workers. Results are bit-identical with or without it.
 	Observer obs.Observer
+	// TrialTimeout, when positive, bounds each trial attempt with a real
+	// context deadline derived from Run's context. Estimation runs gate on
+	// the deadline at session start (an in-flight trial still completes,
+	// preserving the determinism contract); a timed-out attempt counts as
+	// a failed attempt and is retried like any other when Job.Retries
+	// allows.
+	TrialTimeout time.Duration
 }
 
 // Run executes the batch over a bounded worker pool. Job errors are
@@ -115,12 +150,22 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Report, error) {
 	if len(jobs) == 0 {
 		return nil, errors.New("fleet: empty batch")
 	}
+	if cfg.TrialTimeout < 0 {
+		return nil, fmt.Errorf("fleet: negative trial timeout %v", cfg.TrialTimeout)
+	}
 	for i, j := range jobs {
 		if j.System == nil {
 			return nil, fmt.Errorf("fleet: job %d has a nil System", i)
 		}
 		if j.Trials < 0 {
 			return nil, fmt.Errorf("fleet: job %d has negative trials", i)
+		}
+		if j.Retries < 0 {
+			return nil, fmt.Errorf("fleet: job %d has negative retries", i)
+		}
+		// Positively phrased so a NaN backoff is rejected too.
+		if !(j.RetryBackoffSeconds >= 0) {
+			return nil, fmt.Errorf("fleet: job %d has invalid retry backoff %v", i, j.RetryBackoffSeconds)
 		}
 	}
 
@@ -166,19 +211,29 @@ func runJob(ctx context.Context, cfg Config, index int, job Job) JobResult {
 		if ctx.Err() != nil {
 			break // keep what completed; Run reports the cancellation
 		}
-		// Trials run under context.Background(): cancellation is handled by
-		// the per-trial pre-check above, keeping the contract that a trial
-		// in flight always completes (and a cancelled batch never turns
-		// into per-job errors).
-		est, err := job.System.Run(context.Background(),
-			rfidest.WithEstimator(job.Estimator),
-			rfidest.WithAccuracy(job.Epsilon, job.Delta),
-			rfidest.WithSalt(saltFor(cfg.Seed, index, t)),
-			rfidest.WithObserver(observer))
+		est, err := runTrial(ctx, cfg, index, job, t, observer, &res)
 		if err != nil {
+			if ctx.Err() != nil {
+				break // a cancelled batch never turns into per-job errors
+			}
+			if job.Retries > 0 {
+				// Retries exhausted: the job degrades to the trials that
+				// did complete instead of failing the batch.
+				res.Degraded = true
+				observer.Degraded(job.Estimator)
+				break
+			}
 			res.Err = err
 			res.FailedAt = t
 			break
+		}
+		if est.Saturated {
+			// The accepted estimate is still a clamp artifact after every
+			// allowed re-run — keep it (it is a genuine resolution bound)
+			// but flag the degradation.
+			res.Degraded = true
+			res.DegradedTrials++
+			observer.Degraded(job.Estimator)
 		}
 		res.Estimates = append(res.Estimates, est)
 		res.AirSeconds += est.Seconds
@@ -203,6 +258,46 @@ func runJob(ctx context.Context, cfg Config, index int, job Job) JobResult {
 	return res
 }
 
+// runTrial runs one trial, re-running failed or saturated attempts within
+// the job's retry budget. Attempt 0 uses the historical saltFor salt (so
+// retry-free batches replay bit-identically against direct salted calls);
+// attempt k > 0 extends the derivation with k. Each attempt runs under the
+// batch context, tightened by Config.TrialTimeout when set — estimation
+// gates on the deadline at session start, so an in-flight attempt still
+// completes and determinism is preserved. Backoff before attempt k charges
+// RetryBackoffSeconds·2^(k−1) of simulated air time; no wall-clock sleep.
+func runTrial(ctx context.Context, cfg Config, index int, job Job, t int, observer obs.Observer, res *JobResult) (rfidest.Estimate, error) {
+	backoff := job.RetryBackoffSeconds
+	for attempt := 0; ; attempt++ {
+		salt := saltFor(cfg.Seed, index, t)
+		if attempt > 0 {
+			salt = xrand.Combine(cfg.Seed, uint64(index), uint64(t), uint64(attempt))
+		}
+		tctx := ctx
+		var cancel context.CancelFunc
+		if cfg.TrialTimeout > 0 {
+			tctx, cancel = context.WithTimeout(ctx, cfg.TrialTimeout)
+		}
+		est, err := job.System.Run(tctx,
+			rfidest.WithEstimator(job.Estimator),
+			rfidest.WithAccuracy(job.Epsilon, job.Delta),
+			rfidest.WithSalt(salt),
+			rfidest.WithObserver(observer))
+		if cancel != nil {
+			cancel()
+		}
+		done := err == nil && !est.Saturated
+		if done || attempt >= job.Retries || ctx.Err() != nil {
+			return est, err
+		}
+		res.Retries++
+		res.BackoffSeconds += backoff
+		res.AirSeconds += backoff
+		backoff *= 2
+		observer.Retry(job.Estimator, attempt+1)
+	}
+}
+
 // summarize folds job results into the batch-level Report.
 func summarize(results []JobResult) *Report {
 	rep := &Report{Jobs: results}
@@ -214,6 +309,11 @@ func summarize(results []JobResult) *Report {
 		case r.Err != nil:
 			rep.Failed++
 		}
+		if r.Degraded {
+			rep.Degraded++
+		}
+		rep.Retries += r.Retries
+		rep.AirSeconds += r.BackoffSeconds
 		truth := float64(0)
 		if r.Job.System != nil {
 			truth = float64(r.Job.System.N())
@@ -247,6 +347,8 @@ type GroupStat struct {
 	Jobs       int
 	Trials     int
 	Failed     int
+	Degraded   int
+	Retries    int
 	MeanAbsErr float64
 	P90AbsErr  float64
 	AirSeconds float64
@@ -270,6 +372,10 @@ func (rep *Report) PerEstimator() []GroupStat {
 		if r.Err != nil {
 			g.Failed++
 		}
+		if r.Degraded {
+			g.Degraded++
+		}
+		g.Retries += r.Retries
 		g.Trials += len(r.Estimates)
 		g.AirSeconds += r.AirSeconds
 		truth := float64(r.Job.System.N())

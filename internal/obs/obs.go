@@ -102,6 +102,39 @@ type SessionStats struct {
 	Err bool
 }
 
+// FaultStats counts the fault events a channel injector applied during one
+// estimation session (see internal/faults). All counters are cumulative
+// over the reported window.
+type FaultStats struct {
+	// Frames is the number of engine calls the injector processed.
+	Frames int
+	// BurstFlips is the number of slots flipped by the burst-noise model.
+	BurstFlips int
+	// Erasures is the number of busy slots erased to idle.
+	Erasures int
+	// Truncations is the number of frames whose observation tail was lost.
+	Truncations int
+	// Stalls is the number of reader stalls injected; StallSlots is the
+	// total extra slot-time they charged to the session clock.
+	Stalls, StallSlots int
+}
+
+// Add accumulates other into s.
+func (s *FaultStats) Add(other FaultStats) {
+	s.Frames += other.Frames
+	s.BurstFlips += other.BurstFlips
+	s.Erasures += other.Erasures
+	s.Truncations += other.Truncations
+	s.Stalls += other.Stalls
+	s.StallSlots += other.StallSlots
+}
+
+// Total returns the number of fault events (excluding Frames and the
+// derived StallSlots), the scalar the faults-per-session histogram bins.
+func (s FaultStats) Total() int {
+	return s.BurstFlips + s.Erasures + s.Truncations + s.Stalls
+}
+
 // Observer receives span hooks from the estimation path. Implementations
 // must be safe for concurrent use (many sessions report into one observer)
 // and must be passive: estimates are bit-identical with any observer
@@ -131,6 +164,16 @@ type Observer interface {
 	// EstimateError reports the relative error |n̂−n|/n of a completed run
 	// when the harness knows the ground truth n.
 	EstimateError(relErr float64)
+	// Faults reports the fault events a session's channel injector applied,
+	// fired once when the session's run completes (zero-valued stats are
+	// not reported).
+	Faults(s FaultStats)
+	// Retry fires when a run re-executes after a degenerate attempt;
+	// attempt counts the re-executions of that run, starting at 1.
+	Retry(estimator string, attempt int)
+	// Degraded fires when a run (or a fleet job) exhausts its retry budget
+	// and reports a degraded result instead of failing.
+	Degraded(estimator string)
 }
 
 // nop is the zero-cost Observer: every method is an empty, allocation-free
@@ -146,6 +189,9 @@ func (nop) Broadcast(Phase, int)       {}
 func (nop) Listen(Phase, int)          {}
 func (nop) ProbeRounds(int)            {}
 func (nop) EstimateError(float64)      {}
+func (nop) Faults(FaultStats)          {}
+func (nop) Retry(string, int)          {}
+func (nop) Degraded(string)            {}
 
 // Nop is the default observer: it does nothing and allocates nothing, so
 // the uninstrumented estimation path stays at benchmark parity.
@@ -224,5 +270,23 @@ func (m multi) ProbeRounds(rounds int) {
 func (m multi) EstimateError(relErr float64) {
 	for _, o := range m {
 		o.EstimateError(relErr)
+	}
+}
+
+func (m multi) Faults(s FaultStats) {
+	for _, o := range m {
+		o.Faults(s)
+	}
+}
+
+func (m multi) Retry(estimator string, attempt int) {
+	for _, o := range m {
+		o.Retry(estimator, attempt)
+	}
+}
+
+func (m multi) Degraded(estimator string) {
+	for _, o := range m {
+		o.Degraded(estimator)
 	}
 }

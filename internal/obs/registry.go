@@ -106,6 +106,20 @@ type estimatorMetrics struct {
 	airSeconds atomicFloat
 	tagTx      atomic.Int64
 	guarded    atomic.Int64
+	retries    atomic.Int64
+	degraded   atomic.Int64
+}
+
+// faultMetrics aggregates the injector counters across sessions.
+type faultMetrics struct {
+	sessions    atomic.Int64 // sessions that reported any faults
+	frames      atomic.Int64
+	burstFlips  atomic.Int64
+	erasures    atomic.Int64
+	truncations atomic.Int64
+	stalls      atomic.Int64
+	stallSlots  atomic.Int64
+	perSession  *Histogram // fault events per reporting session
 }
 
 // Default bucket bounds. Air time brackets the paper's 0.19 s constant-time
@@ -115,6 +129,7 @@ var (
 	airTimeBounds    = []float64{0.01, 0.02, 0.05, 0.1, 0.19, 0.25, 0.5, 1, 2, 5}
 	probeRoundBounds = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 	relErrBounds     = []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1}
+	faultBounds      = []float64{0, 1, 2, 5, 10, 20, 50, 100, 200, 500}
 )
 
 // Registry is the metrics sink: an Observer that turns span hooks into
@@ -133,7 +148,11 @@ type Registry struct {
 	tagTransmissions atomic.Int64
 	probeRoundsTotal atomic.Int64
 
+	retries  atomic.Int64
+	degraded atomic.Int64
+
 	phases      [NumPhases]phaseMetrics
+	faults      faultMetrics
 	airTime     *Histogram
 	probeRounds *Histogram
 	estErr      *Histogram
@@ -153,6 +172,7 @@ func NewRegistry() *Registry {
 	for p := range r.phases {
 		r.phases[p].seconds = NewHistogram(airTimeBounds...)
 	}
+	r.faults.perSession = NewHistogram(faultBounds...)
 	return r
 }
 
@@ -252,3 +272,29 @@ func (r *Registry) ProbeRounds(rounds int) {
 
 // EstimateError implements Observer.
 func (r *Registry) EstimateError(relErr float64) { r.estErr.Observe(relErr) }
+
+// Faults implements Observer.
+func (r *Registry) Faults(s FaultStats) {
+	f := &r.faults
+	f.sessions.Add(1)
+	f.frames.Add(int64(s.Frames))
+	f.burstFlips.Add(int64(s.BurstFlips))
+	f.erasures.Add(int64(s.Erasures))
+	f.truncations.Add(int64(s.Truncations))
+	f.stalls.Add(int64(s.Stalls))
+	f.stallSlots.Add(int64(s.StallSlots))
+	f.perSession.Observe(float64(s.Total()))
+}
+
+// Retry implements Observer.
+func (r *Registry) Retry(estimator string, attempt int) {
+	_ = attempt
+	r.retries.Add(1)
+	r.estimator(estimator).retries.Add(1)
+}
+
+// Degraded implements Observer.
+func (r *Registry) Degraded(estimator string) {
+	r.degraded.Add(1)
+	r.estimator(estimator).degraded.Add(1)
+}

@@ -19,13 +19,28 @@ type Snapshot struct {
 	ReaderBits       int64 `json:"reader_bits"`
 	TagTransmissions int64 `json:"tag_transmissions"`
 	ProbeRoundsTotal int64 `json:"probe_rounds_total"`
+	Retries          int64 `json:"retries"`
+	Degraded         int64 `json:"degraded"`
 
 	Phases     []PhaseSnapshot     `json:"phases"`
 	Estimators []EstimatorSnapshot `json:"estimators"`
+	Faults     FaultSnapshot       `json:"faults"`
 
 	AirTimeSeconds HistogramSnapshot `json:"airtime_s"`
 	ProbeRounds    HistogramSnapshot `json:"probe_rounds"`
 	EstimateRelErr HistogramSnapshot `json:"est_rel_err"`
+}
+
+// FaultSnapshot aggregates the channel-injector counters across sessions.
+type FaultSnapshot struct {
+	Sessions    int64             `json:"sessions"`
+	Frames      int64             `json:"frames"`
+	BurstFlips  int64             `json:"burst_flips"`
+	Erasures    int64             `json:"erasures"`
+	Truncations int64             `json:"truncations"`
+	Stalls      int64             `json:"stalls"`
+	StallSlots  int64             `json:"stall_slots"`
+	PerSession  HistogramSnapshot `json:"per_session"`
 }
 
 // PhaseSnapshot is the per-phase series: slot/bit/frame counters fed by
@@ -51,6 +66,8 @@ type EstimatorSnapshot struct {
 	AirSeconds       float64 `json:"air_seconds"`
 	TagTransmissions int64   `json:"tag_transmissions"`
 	Guarded          int64   `json:"guarded"`
+	Retries          int64   `json:"retries"`
+	Degraded         int64   `json:"degraded"`
 }
 
 // Snapshot copies the registry's current state. Counters are read
@@ -66,9 +83,21 @@ func (r *Registry) Snapshot() Snapshot {
 		ReaderBits:       r.readerBits.Load(),
 		TagTransmissions: r.tagTransmissions.Load(),
 		ProbeRoundsTotal: r.probeRoundsTotal.Load(),
+		Retries:          r.retries.Load(),
+		Degraded:         r.degraded.Load(),
 		AirTimeSeconds:   r.airTime.snapshot(),
 		ProbeRounds:      r.probeRounds.snapshot(),
 		EstimateRelErr:   r.estErr.snapshot(),
+		Faults: FaultSnapshot{
+			Sessions:    r.faults.sessions.Load(),
+			Frames:      r.faults.frames.Load(),
+			BurstFlips:  r.faults.burstFlips.Load(),
+			Erasures:    r.faults.erasures.Load(),
+			Truncations: r.faults.truncations.Load(),
+			Stalls:      r.faults.stalls.Load(),
+			StallSlots:  r.faults.stallSlots.Load(),
+			PerSession:  r.faults.perSession.snapshot(),
+		},
 	}
 	for p := Phase(0); p < NumPhases; p++ {
 		m := &r.phases[p]
@@ -100,6 +129,8 @@ func (r *Registry) Snapshot() Snapshot {
 			AirSeconds:       m.airSeconds.Load(),
 			TagTransmissions: m.tagTx.Load(),
 			Guarded:          m.guarded.Load(),
+			Retries:          m.retries.Load(),
+			Degraded:         m.degraded.Load(),
 		})
 	}
 	r.mu.RUnlock()
@@ -125,6 +156,8 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	tw.line("obs.reader_bits", s.ReaderBits)
 	tw.line("obs.tag_transmissions", s.TagTransmissions)
 	tw.line("obs.probe_rounds_total", s.ProbeRoundsTotal)
+	tw.line("obs.retries", s.Retries)
+	tw.line("obs.degraded", s.Degraded)
 	for _, p := range s.Phases {
 		prefix := "obs.phase." + p.Phase
 		tw.line(prefix+".spans", p.Spans)
@@ -144,7 +177,17 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		tw.lineFloat(prefix+".air_seconds", e.AirSeconds)
 		tw.line(prefix+".tag_transmissions", e.TagTransmissions)
 		tw.line(prefix+".guarded", e.Guarded)
+		tw.line(prefix+".retries", e.Retries)
+		tw.line(prefix+".degraded", e.Degraded)
 	}
+	tw.line("obs.faults.sessions", s.Faults.Sessions)
+	tw.line("obs.faults.frames", s.Faults.Frames)
+	tw.line("obs.faults.burst_flips", s.Faults.BurstFlips)
+	tw.line("obs.faults.erasures", s.Faults.Erasures)
+	tw.line("obs.faults.truncations", s.Faults.Truncations)
+	tw.line("obs.faults.stalls", s.Faults.Stalls)
+	tw.line("obs.faults.stall_slots", s.Faults.StallSlots)
+	tw.histogram("obs.faults.per_session", s.Faults.PerSession)
 	tw.histogram("obs.airtime_s", s.AirTimeSeconds)
 	tw.histogram("obs.probe_rounds", s.ProbeRounds)
 	tw.histogram("obs.est_rel_err", s.EstimateRelErr)

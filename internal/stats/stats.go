@@ -118,6 +118,19 @@ func Quantile(sorted []float64, q float64) float64 {
 	return sorted[i]*(1-frac) + sorted[i+1]*frac
 }
 
+// InUnitInterval reports whether x lies strictly inside (0, 1) — the
+// domain of the (ε, δ) accuracy parameters and of BFCE's lower-bound
+// coefficient. It is the one NaN-proof domain check behind every accuracy
+// validation in the module: the comparisons are phrased positively, so NaN
+// (for which both x <= 0 and x >= 1 are false) fails instead of slipping
+// through a negated range check, and ±Inf fail with it.
+func InUnitInterval(x float64) bool { return x > 0 && x < 1 }
+
+// InClosedUnitInterval reports whether x lies in [0, 1] — the domain of
+// probabilities and rates (channel error rates, fault-injection rates).
+// Like InUnitInterval it rejects NaN and ±Inf by construction.
+func InClosedUnitInterval(x float64) bool { return x >= 0 && x <= 1 }
+
 // Median returns the median of xs (copies and sorts internally).
 func Median(xs []float64) float64 {
 	sorted := append([]float64(nil), xs...)

@@ -1,0 +1,35 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUnitIntervalHelpers(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		x            float64
+		open, closed bool
+	}{
+		{0.5, true, true},
+		{0.05, true, true},
+		{1e-12, true, true},
+		{1 - 1e-12, true, true},
+		{0, false, true},
+		{1, false, true},
+		{-0.1, false, false},
+		{1.1, false, false},
+		{nan, false, false},
+		{inf, false, false},
+		{-inf, false, false},
+	}
+	for _, c := range cases {
+		if got := InUnitInterval(c.x); got != c.open {
+			t.Errorf("InUnitInterval(%v) = %v, want %v", c.x, got, c.open)
+		}
+		if got := InClosedUnitInterval(c.x); got != c.closed {
+			t.Errorf("InClosedUnitInterval(%v) = %v, want %v", c.x, got, c.closed)
+		}
+	}
+}

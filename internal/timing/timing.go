@@ -103,6 +103,16 @@ func (cl *Clock) Listen(slots int) {
 	cl.cost.Intervals++
 }
 
+// Charge adds a pre-computed cost to the clock. Fault models use it to
+// account recovery time (retransmission stalls, resynchronization gaps)
+// that is not a plain broadcast or listen.
+func (cl *Clock) Charge(c Cost) {
+	if c.ReaderBits < 0 || c.TagSlots < 0 || c.Intervals < 0 {
+		panic("timing: negative charge")
+	}
+	cl.cost.Add(c)
+}
+
 // Cost returns the accumulated counters.
 func (cl *Clock) Cost() Cost { return cl.cost }
 

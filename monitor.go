@@ -31,8 +31,8 @@ func NewMonitor(epsilon, delta float64, fastRounds int) (*Monitor, error) {
 	if fastRounds < 0 {
 		return nil, errors.New("rfidest: negative fastRounds")
 	}
-	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
-		return nil, fmt.Errorf("rfidest: epsilon and delta must be in (0, 1), got (%v, %v)", epsilon, delta)
+	if err := validateAccuracy(epsilon, delta); err != nil {
+		return nil, err
 	}
 	m, err := core.NewMonitor(core.Config{Epsilon: epsilon, Delta: delta})
 	if err != nil {
@@ -61,6 +61,7 @@ func (m *Monitor) Estimate(sys *System) (Estimate, error) {
 		Rounds:           1,
 		Guarded:          res.Feasible,
 		TagTransmissions: session.TagTransmissions(),
+		Saturated:        res.Saturated,
 	}, nil
 }
 
@@ -80,6 +81,7 @@ func Merge(unionN int, systems ...*System) (*System, error) {
 	if unionN < 0 {
 		return nil, errors.New("rfidest: negative union cardinality")
 	}
+	maxN, sumN := 0, 0
 	for i, sub := range systems {
 		if sub == nil {
 			return nil, fmt.Errorf("rfidest: system %d is nil", i)
@@ -87,6 +89,25 @@ func Merge(unionN int, systems ...*System) (*System, error) {
 		if sub.synthetic {
 			return nil, fmt.Errorf("rfidest: system %d is synthetic; multi-reader merging needs tag-level systems", i)
 		}
+		// A merged reader hashes every tag through one hash family; mixing
+		// modes would silently reinterpret half the population under the
+		// wrong family (the old code took systems[0].hashMode and dropped
+		// the rest on the floor).
+		if sub.hashMode != systems[0].hashMode {
+			return nil, fmt.Errorf("rfidest: mixed hash modes: system %d uses mode %d, system 0 uses mode %d",
+				i, sub.hashMode, systems[0].hashMode)
+		}
+		if sub.n > maxN {
+			maxN = sub.n
+		}
+		sumN += sub.n
+	}
+	// The union of sets of sizes n_1..n_k has cardinality in
+	// [max(n_i), sum(n_i)]; a unionN outside that range cannot describe any
+	// overlap of these populations and would corrupt the merged engine's
+	// ground truth.
+	if unionN < maxN || unionN > sumN {
+		return nil, fmt.Errorf("rfidest: union cardinality %d outside feasible range [%d, %d]", unionN, maxN, sumN)
 	}
 	merged := &System{
 		n:        unionN,

@@ -41,12 +41,14 @@ func NewMetrics() *Metrics { return obs.NewRegistry() }
 type Option func(*runOptions)
 
 type runOptions struct {
-	estimator string
-	epsilon   float64
-	delta     float64
-	salt      uint64
-	hasSalt   bool
-	observer  obs.Observer
+	estimator   string
+	epsilon     float64
+	delta       float64
+	salt        uint64
+	hasSalt     bool
+	observer    obs.Observer
+	retries     int
+	retryBudget float64
 }
 
 func defaultRunOptions() runOptions {
@@ -92,6 +94,21 @@ func WithObserver(o Observer) Option {
 	}
 }
 
+// WithRetry re-runs a saturated round up to retries times, within an
+// optional simulated-air-time budget (budgetSeconds; 0 means unbounded).
+// A saturated round observed a degenerate all-idle/all-busy vector — under
+// channel faults or a mis-sized population the estimate is then a clamp
+// artifact, and a re-run with fresh frame seeds (drawn from the same
+// session stream, so the whole run stays a pure function of the session
+// salt) often recovers a usable measurement. Retries are reported through
+// Estimate.Retries and the observer's Retry/Degraded hooks; the default is
+// no retry, keeping the machinery passive.
+//
+// Both arguments must be non-negative; budgetSeconds must not be NaN.
+func WithRetry(retries int, budgetSeconds float64) Option {
+	return func(o *runOptions) { o.retries, o.retryBudget = retries, budgetSeconds }
+}
+
 // Run executes one estimation over the system: it opens a fresh session
 // (counter-derived, or salt-addressed under WithSalt), runs the selected
 // protocol to the accuracy requirement, and returns the estimate. With no
@@ -109,7 +126,7 @@ func (s *System) Run(ctx context.Context, opts ...Option) (Estimate, error) {
 		opt(&o)
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:allow ctxbg documented nil-ctx convenience default
 	}
 	if err := ctx.Err(); err != nil {
 		return Estimate{}, err
@@ -135,24 +152,84 @@ func (s *System) runOn(open func() *channel.Reader, o runOptions) (Estimate, err
 	if err := validateAccuracy(o.epsilon, o.delta); err != nil {
 		return Estimate{}, err
 	}
+	if err := validateRetry(o.retries, o.retryBudget); err != nil {
+		return Estimate{}, err
+	}
+	name := est.Name()
 	est = estimators.Instrument(est, o.observer)
 	session := open()
-	res, err := est.Estimate(session, estimators.Accuracy{Epsilon: o.epsilon, Delta: o.delta})
+	acc := estimators.Accuracy{Epsilon: o.epsilon, Delta: o.delta}
+	res, err := est.Estimate(session, acc)
 	if err != nil {
 		return Estimate{}, err
 	}
+	// Retry loop: a saturated round is re-run with fresh frame seeds (the
+	// session's seed stream simply continues) while attempts and the
+	// simulated air-time budget allow. With retries unset the loop body
+	// never runs and the path is bit-identical to the pre-retry code.
+	attempts := 0
+	for res.Saturated && attempts < o.retries {
+		if o.retryBudget > 0 && res.Seconds >= o.retryBudget {
+			break
+		}
+		attempts++
+		o.observer.Retry(name, attempts)
+		next, err := est.Estimate(session, acc)
+		if err != nil {
+			return Estimate{}, err
+		}
+		next.Rounds += res.Rounds
+		next.Slots += res.Slots
+		next.Seconds += res.Seconds
+		next.Cost.Add(res.Cost)
+		res = next
+	}
+	if o.retries > 0 && res.Saturated {
+		o.observer.Degraded(name)
+	}
 	out := fromResult(res)
+	out.Retries = attempts
 	out.TagTransmissions = session.TagTransmissions()
+	s.reportFaults(session, o.observer)
 	if o.observer != obs.Nop && s.n > 0 {
 		o.observer.EstimateError(stats.RelError(out.N, float64(s.n)))
 	}
 	return out, nil
 }
 
+// validateRetry is the WithRetry domain check. The budget comparison is
+// phrased positively so NaN fails it.
+func validateRetry(retries int, budget float64) error {
+	if retries < 0 {
+		return fmt.Errorf("rfidest: negative retry count %d", retries)
+	}
+	if !(budget >= 0) {
+		return fmt.Errorf("rfidest: retry budget must be >= 0 seconds, got %v", budget)
+	}
+	return nil
+}
+
+// reportFaults forwards the session's injector counters (if a fault
+// injector is installed and fired) to the observer, once per run.
+func (s *System) reportFaults(session *channel.Reader, o obs.Observer) {
+	if o == obs.Nop {
+		return
+	}
+	fs, ok := session.Engine.(interface{ FaultStats() obs.FaultStats })
+	if !ok {
+		return
+	}
+	if st := fs.FaultStats(); st != (obs.FaultStats{}) {
+		o.Faults(st)
+	}
+}
+
 // validateAccuracy is the one (ε, δ) domain check behind every public
-// entry point.
+// entry point. The check is phrased through stats.InUnitInterval so NaN —
+// which passes a naive `<= 0 || >= 1` rejection because both comparisons
+// are false — is rejected along with ±Inf and out-of-range values.
 func validateAccuracy(epsilon, delta float64) error {
-	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
+	if !stats.InUnitInterval(epsilon) || !stats.InUnitInterval(delta) {
 		return fmt.Errorf("rfidest: epsilon and delta must be in (0, 1), got (%v, %v)", epsilon, delta)
 	}
 	return nil
@@ -167,7 +244,7 @@ func (s *System) RunBFCEDetail(ctx context.Context, opts ...Option) (BFCEDetail,
 		opt(&o)
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:allow ctxbg documented nil-ctx convenience default
 	}
 	if err := ctx.Err(); err != nil {
 		return BFCEDetail{}, err
@@ -176,6 +253,9 @@ func (s *System) RunBFCEDetail(ctx context.Context, opts ...Option) (BFCEDetail,
 		return BFCEDetail{}, fmt.Errorf("rfidest: RunBFCEDetail runs BFCE only, got estimator %q", o.estimator)
 	}
 	if err := validateAccuracy(o.epsilon, o.delta); err != nil {
+		return BFCEDetail{}, err
+	}
+	if err := validateRetry(o.retries, o.retryBudget); err != nil {
 		return BFCEDetail{}, err
 	}
 	est, err := core.New(core.Config{Epsilon: o.epsilon, Delta: o.delta})
@@ -193,7 +273,15 @@ func (s *System) RunBFCEDetail(ctx context.Context, opts ...Option) (BFCEDetail,
 		r.SetObserver(o.observer)
 		o.observer.SessionOpen("BFCE")
 	}
-	res, err := est.Estimate(r)
+	res, err := est.EstimateRetry(r, core.RetryPolicy{MaxRetries: o.retries, BudgetSeconds: o.retryBudget})
+	if instrumented {
+		for i := 1; i <= res.Retries; i++ {
+			o.observer.Retry("BFCE", i)
+		}
+		if o.retries > 0 && (res.Saturated || !res.Feasible) {
+			o.observer.Degraded("BFCE")
+		}
+	}
 	if instrumented {
 		o.observer.SessionClose(obs.SessionStats{
 			Estimator:        "BFCE",
@@ -216,9 +304,11 @@ func (s *System) RunBFCEDetail(ctx context.Context, opts ...Option) (BFCEDetail,
 			Seconds:          res.Seconds,
 			Slots:            res.Cost.TagSlots,
 			ReaderBits:       res.Cost.ReaderBits,
-			Rounds:           1,
+			Rounds:           1 + res.Retries,
 			Guarded:          res.Feasible,
 			TagTransmissions: r.TagTransmissions(),
+			Saturated:        res.Saturated,
+			Retries:          res.Retries,
 		},
 		Rough:       res.Rough,
 		LowerBound:  res.LowerBound,
@@ -228,6 +318,7 @@ func (s *System) RunBFCEDetail(ctx context.Context, opts ...Option) (BFCEDetail,
 		Feasible:    res.Feasible,
 		Saturated:   res.Saturated,
 	}
+	s.reportFaults(r, o.observer)
 	if instrumented && s.n > 0 {
 		o.observer.EstimateError(stats.RelError(out.Estimate.N, float64(s.n)))
 	}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"rfidest/internal/channel"
+	"rfidest/internal/faults"
 	"rfidest/internal/tags"
 	"rfidest/internal/xrand"
 )
@@ -58,6 +59,7 @@ type System struct {
 	noisy     bool
 	falseBusy float64
 	falseIdle float64
+	faults    FaultPlan
 
 	pop      *tags.Population // nil when synthetic
 	merged   []*System        // non-nil for multi-reader merges (see Merge)
@@ -110,6 +112,24 @@ func WithNoise(falseBusy, falseIdle float64) SystemOption {
 	}
 }
 
+// FaultPlan configures the deterministic channel-fault injectors of
+// WithFaults; see internal/faults for the fault model. The zero plan
+// injects nothing.
+type FaultPlan = faults.Plan
+
+// FaultSeverity is the one-knob fault plan: rate in [0, 1] scales every
+// injector together (burst noise, erasures, truncations, reader stalls).
+// FaultSeverity(0) is the zero plan.
+func FaultSeverity(rate float64) FaultPlan { return faults.Severity(rate) }
+
+// WithFaults layers the plan's deterministic fault injectors on the
+// channel, outermost (after any WithNoise wrapper). Fault schedules derive
+// from the system seed and the session salt alone, so equal (system, salt)
+// pairs replay identical faults. A zero plan installs nothing.
+func WithFaults(plan FaultPlan) SystemOption {
+	return func(s *System) { s.faults = plan }
+}
+
 // NewSystem builds a simulated deployment of n tags. It panics if n is
 // negative or an option is invalid; simulation of populations the channel
 // cannot express (n beyond the ID space) also panics.
@@ -117,6 +137,9 @@ func NewSystem(n int, opts ...SystemOption) *System {
 	s := &System{n: n, seed: 1, hashMode: channel.IdealRN}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if err := s.faults.Validate(); err != nil {
+		panic(err.Error())
 	}
 	if !s.synthetic {
 		s.pop = tags.Generate(n, s.dist.internal(), xrand.Combine(s.seed, 0x5757))
@@ -157,6 +180,9 @@ func (s *System) sessionAt(salt uint64) *channel.Reader {
 	}
 	if s.noisy {
 		eng = channel.NewNoisyEngine(eng, s.falseBusy, s.falseIdle, salt+1)
+	}
+	if s.faults.Enabled() {
+		eng = faults.New(eng, s.faults, salt+3)
 	}
 	return channel.NewReader(eng, salt+2)
 }
