@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	rfidlint [-json] [-list] [packages]
+//	rfidlint [-json] [-list] [-fix] [-diff] [-sarif file] [-baseline file] [packages]
 //
 // Packages are directory patterns as for the go tool ("./...", "internal/
 // fleet", ...); the default is ./... from the current directory. With
-// -json, findings are emitted as a JSON array for CI tooling. Exit status
+// -json, findings are emitted as a JSON array for CI tooling; -sarif
+// writes the same findings as SARIF 2.1.0 for code-scanning upload.
+// -diff previews the suggested fixes as a unified diff; -fix applies
+// them to the source files (atomically, gofmt-verified) and reports what
+// remains. -baseline suppresses findings recorded in a prior -json run,
+// so a tree with known debt can still gate on NEW findings. Exit status
 // is 0 when clean, 1 when findings were reported, 2 on a usage or load
 // error. Individual findings can be suppressed at the use site with a
 // "//lint:allow <analyzer> <reason>" comment.
@@ -19,6 +24,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"rfidest/internal/analysis"
 )
@@ -34,11 +42,19 @@ type jsonDiagnostic struct {
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
 	list := flag.Bool("list", false, "list registered analyzers and exit")
+	fix := flag.Bool("fix", false, "apply suggested fixes to the source files, then report what remains")
+	diffOut := flag.Bool("diff", false, "print suggested fixes as a unified diff without applying them")
+	sarifPath := flag.String("sarif", "", "write findings as SARIF 2.1.0 to `file`")
+	baselinePath := flag.String("baseline", "", "suppress findings recorded in `file` (prior -json output)")
 	flag.Parse()
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			scope := "local"
+			if a.Interprocedural {
+				scope = "interprocedural"
+			}
+			fmt.Printf("%-10s %-15s %s\n", a.Name, scope, docSummary(a.Doc))
 		}
 		return
 	}
@@ -48,20 +64,45 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rfidlint: %v\n", err)
 		os.Exit(2)
 	}
-	if *jsonOut {
-		out := make([]jsonDiagnostic, 0, len(diags))
-		for _, d := range diags {
-			out = append(out, jsonDiagnostic{
-				File:     d.Pos.Filename,
-				Line:     d.Pos.Line,
-				Column:   d.Pos.Column,
-				Analyzer: d.Analyzer,
-				Message:  d.Message,
-			})
+	if *baselinePath != "" {
+		diags, err = filterBaseline(diags, *baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rfidlint: baseline: %v\n", err)
+			os.Exit(2)
 		}
+	}
+
+	if *diffOut {
+		if err := printFixDiffs(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "rfidlint: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	if *sarifPath != "" {
+		if err := writeSarif(*sarifPath, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "rfidlint: sarif: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if *fix {
+		var applied int
+		diags, applied, err = applyFixesToDisk(diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rfidlint: fix: %v\n", err)
+			os.Exit(2)
+		}
+		if applied > 0 {
+			fmt.Fprintf(os.Stderr, "rfidlint: applied %d fix(es)\n", applied)
+		}
+	}
+
+	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := enc.Encode(toJSON(diags)); err != nil {
 			fmt.Fprintf(os.Stderr, "rfidlint: %v\n", err)
 			os.Exit(2)
 		}
@@ -76,4 +117,237 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// docSummary returns the first clause of an analyzer doc string — the
+// one-line form -list prints.
+func docSummary(doc string) string {
+	if i := strings.IndexAny(doc, ";\n"); i >= 0 {
+		return strings.TrimSpace(doc[:i])
+	}
+	return doc
+}
+
+func toJSON(diags []analysis.Diagnostic) []jsonDiagnostic {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     relPath(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+// relPath renders file relative to the working directory (slash-form)
+// when possible, so -json/-sarif output and baselines are stable across
+// checkouts.
+func relPath(file string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return filepath.ToSlash(file)
+	}
+	rel, err := filepath.Rel(wd, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// filterBaseline drops findings recorded in a prior -json run. Matching
+// is by (file, analyzer, message) — line numbers drift as code moves, so
+// they are deliberately not part of the key.
+func filterBaseline(diags []analysis.Diagnostic, path string) ([]analysis.Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var old []jsonDiagnostic
+	if err := json.Unmarshal(data, &old); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	known := make(map[string]bool, len(old))
+	for _, d := range old {
+		known[d.File+"\x00"+d.Analyzer+"\x00"+d.Message] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if known[relPath(d.Pos.Filename)+"\x00"+d.Analyzer+"\x00"+d.Message] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, nil
+}
+
+// printFixDiffs renders every suggested fix as a unified diff against
+// the current file contents, without writing anything.
+func printFixDiffs(diags []analysis.Diagnostic) error {
+	fixed, applied, err := analysis.ApplyFixes(diags, nil)
+	if err != nil {
+		return err
+	}
+	if applied == 0 {
+		return nil
+	}
+	files := make([]string, 0, len(fixed))
+	for file := range fixed {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		orig, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		fmt.Print(analysis.UnifiedDiff(relPath(file), orig, fixed[file]))
+	}
+	return nil
+}
+
+// applyFixesToDisk applies every suggested fix, writing each changed
+// file atomically (temp file + rename in the same directory). It returns
+// the findings that remain — the ones that carried no fix.
+func applyFixesToDisk(diags []analysis.Diagnostic) ([]analysis.Diagnostic, int, error) {
+	fixed, applied, err := analysis.ApplyFixes(diags, nil)
+	if err != nil {
+		return diags, 0, err
+	}
+	for file, content := range fixed {
+		if err := writeAtomic(file, content); err != nil {
+			return diags, 0, err
+		}
+	}
+	if applied == 0 {
+		return diags, 0, nil
+	}
+	var remaining []analysis.Diagnostic
+	for _, d := range diags {
+		if d.Fix == nil {
+			remaining = append(remaining, d)
+		}
+	}
+	return remaining, applied, nil
+}
+
+// writeAtomic replaces file with content via a same-directory temp file
+// and rename, preserving the original permissions.
+func writeAtomic(file string, content []byte) error {
+	info, err := os.Stat(file)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(file), "."+filepath.Base(file)+".fix-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(content); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Chmod(tmpName, info.Mode().Perm()); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, file); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// SARIF 2.1.0 — the minimal subset code-scanning consumers need.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+func writeSarif(path string, diags []analysis.Diagnostic) error {
+	var rules []sarifRule
+	for _, a := range analysis.All() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: docSummary(a.Doc)}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relPath(d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "rfidlint", Rules: rules}}, Results: results}},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -65,6 +65,12 @@ type Analyzer struct {
 	// analyzer unconditionally so its behaviour is testable outside the
 	// packages it normally covers.
 	AppliesTo func(rel string) bool
+	// Interprocedural marks analyzers that consume the call graph and
+	// exported facts. Lint runs them in fact-only mode over dependency
+	// packages outside the lint target set, so cross-package facts are
+	// complete no matter which directories were asked for; rfidlint -list
+	// surfaces the flag so the tool documents its own reach.
+	Interprocedural bool
 	// Run reports findings on one type-checked package via pass.Reportf.
 	Run func(pass *Pass) error
 }
@@ -80,6 +86,13 @@ type Pass struct {
 	// to the module root ("." for the root package).
 	Path string
 	Rel  string
+	// Graph is the call graph over the analysis scope: the whole loaded
+	// package set under Lint, just this package under Check.
+	Graph *CallGraph
+	// Facts is the run-shared fact store. Under Lint, facts exported
+	// while analyzing a dependency are visible here by the time any of
+	// its importers is analyzed (packages run in dependency order).
+	Facts *FactStore
 
 	diags *[]Diagnostic
 }
@@ -93,11 +106,56 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
+// ReportFixf records a finding at pos carrying a suggested fix that
+// rfidlint -fix can apply mechanically.
+func (p *Pass) ReportFixf(pos token.Pos, fix *SuggestedFix, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
+	})
+}
+
+// Edit builds a TextEdit replacing the source range [pos, end) with
+// newText, resolving positions against the pass's file set. An insertion
+// passes end == pos.
+func (p *Pass) Edit(pos, end token.Pos, newText string) TextEdit {
+	from := p.Fset.Position(pos)
+	to := p.Fset.Position(end)
+	return TextEdit{File: from.Filename, Start: from.Offset, End: to.Offset, NewText: newText}
+}
+
+// ExportFact records a fact about obj in the analyzer's namespace. Facts
+// survive the pass: under Lint they are visible to later packages that
+// import this one. It reports whether the fact is new, so fixpoint loops
+// can detect convergence.
+func (p *Pass) ExportFact(obj types.Object, f Fact) bool {
+	return p.Facts.add(p.Analyzer.Name, Symbol(obj), f)
+}
+
+// FactsOn returns the facts the analyzer holds about obj (exported by
+// this pass or any earlier package in the run).
+func (p *Pass) FactsOn(obj types.Object) []Fact {
+	if obj == nil {
+		return nil
+	}
+	return p.Facts.get(p.Analyzer.Name, Symbol(obj))
+}
+
+// SymbolFacts is FactsOn addressed by symbol string, for consumers that
+// walk the call graph rather than the syntax.
+func (p *Pass) SymbolFacts(sym string) []Fact {
+	return p.Facts.get(p.Analyzer.Name, sym)
+}
+
 // Diagnostic is one finding, located and attributed to its analyzer.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Fix, when non-nil, is a mechanical repair rfidlint -fix applies.
+	Fix *SuggestedFix
 }
 
 func (d Diagnostic) String() string {
@@ -106,13 +164,48 @@ func (d Diagnostic) String() string {
 
 // All returns the registry of domain analyzers, in report order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, AtomicMix, FloatCmp, SeedLit, BoolFrame, MetricReg, CtxBg}
+	return []*Analyzer{DetRand, AtomicMix, FloatCmp, SeedLit, BoolFrame, MetricReg, CtxBg,
+		SeedFlow, ErrDrop, ObsPair}
+}
+
+// Result is one analyzer's output over one package, together with the
+// interprocedural context the run produced. The analysistest harness
+// uses Facts and Graph to check // wantfact expectations and to apply
+// suggested fixes.
+type Result struct {
+	Diagnostics []Diagnostic
+	Facts       *FactStore
+	Graph       *CallGraph
 }
 
 // Check runs one analyzer over one loaded package, applies //lint:allow
 // suppressions, and returns the surviving findings sorted by position.
 // Unlike Lint it ignores the analyzer's AppliesTo scope.
 func Check(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	res, err := CheckPackage(a, pkg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diagnostics, nil
+}
+
+// CheckPackage is Check exposing the fact store and call graph of the
+// (single-package) run alongside the findings.
+func CheckPackage(a *Analyzer, pkg *Package) (*Result, error) {
+	graph := NewCallGraph()
+	graph.AddPackage(pkg)
+	facts := NewFactStore()
+	diags, err := runAnalyzer(a, pkg, graph, facts, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Diagnostics: diags, Facts: facts, Graph: graph}, nil
+}
+
+// runAnalyzer executes one analyzer over one package against the given
+// interprocedural context. With report false the diagnostics are
+// discarded — the fact-only mode Lint uses on dependency packages.
+func runAnalyzer(a *Analyzer, pkg *Package, graph *CallGraph, facts *FactStore, report bool) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer: a,
@@ -122,16 +215,26 @@ func Check(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		Info:     pkg.Info,
 		Path:     pkg.Path,
 		Rel:      pkg.Rel,
+		Graph:    graph,
+		Facts:    facts,
 		diags:    &diags,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+	}
+	if !report {
+		return nil, nil
 	}
 	diags = filterSuppressed(diags, suppressionsFor(pkg))
 	sortDiagnostics(diags)
 	return diags, nil
 }
 
+// sortDiagnostics orders findings by (file, line, column, analyzer,
+// message). The message is part of the key so two findings by one
+// analyzer on one position — possible since interprocedural passes can
+// report a call site once per consumed fact — sort stably, keeping
+// golden tests and -json/-sarif output deterministic.
 func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -144,6 +247,9 @@ func sortDiagnostics(diags []Diagnostic) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 }

@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is the static call graph of a set of analyzed packages.
+// Nodes are keyed by stable symbol strings (see Symbol) so the graph —
+// like the fact store — survives the loader's two-identity world, where a
+// package type-checked directly and the memoized copy its dependents
+// imported are distinct *types.Package values for the same code.
+//
+// Edges come from two sources:
+//
+//   - static calls: every *ast.CallExpr whose callee resolves through
+//     types.Info to a *types.Func (package functions, methods, and
+//     qualified pkg.Fn calls). Calls inside function literals are
+//     attributed to the enclosing declared function.
+//   - method sets: a call through an interface method additionally gains
+//     edges to every concrete method of an analyzed type whose method set
+//     satisfies that interface — the over-approximation that makes
+//     fact-driven analyzers sound for dynamic dispatch within the module.
+type CallGraph struct {
+	nodes map[string]*CallNode
+	order []string // node insertion order, for deterministic iteration
+}
+
+// CallNode is one function in the call graph.
+type CallNode struct {
+	Symbol string
+	// Fn is a representative types object for the function (from the
+	// package that declared it when that package was analyzed, otherwise
+	// from the first call site that resolved it).
+	Fn *types.Func
+	// Decl is the function's syntax when it was declared in an analyzed
+	// package; nil for functions only seen as callees (stdlib, or module
+	// packages outside the loaded set).
+	Decl *ast.FuncDecl
+	// Pkg is the analyzed package that declared the function, if any.
+	Pkg *Package
+
+	callees   []string
+	callers   []string
+	calleeSet map[string]bool
+	callerSet map[string]bool
+}
+
+// NewCallGraph returns an empty graph.
+func NewCallGraph() *CallGraph {
+	return &CallGraph{nodes: make(map[string]*CallNode)}
+}
+
+// Symbol returns the stable, fully-qualified name of an object:
+// "path/to/pkg.Fn" for package functions, "(path/to/pkg.T).M" (or the
+// pointer-receiver form) for methods, and "pkg.Name" for other
+// package-level objects. Two type-check universes of the same source
+// agree on Symbol, which is why facts and call-graph nodes key on it.
+func Symbol(obj types.Object) string {
+	if f, ok := obj.(*types.Func); ok {
+		return f.FullName()
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// Node returns the graph node for sym, or nil.
+func (g *CallGraph) Node(sym string) *CallNode { return g.nodes[sym] }
+
+// Funcs returns every node symbol in deterministic (insertion) order.
+func (g *CallGraph) Funcs() []string { return g.order }
+
+// Callees returns the symbols sym statically calls, in first-call order.
+func (g *CallGraph) Callees(sym string) []string {
+	if n := g.nodes[sym]; n != nil {
+		return n.callees
+	}
+	return nil
+}
+
+// Callers returns the symbols that statically call sym.
+func (g *CallGraph) Callers(sym string) []string {
+	if n := g.nodes[sym]; n != nil {
+		return n.callers
+	}
+	return nil
+}
+
+// Reaches reports whether from can reach (transitively, through any
+// number of static calls) a symbol satisfying pred. from itself counts.
+func (g *CallGraph) Reaches(from string, pred func(sym string) bool) bool {
+	seen := make(map[string]bool)
+	var walk func(string) bool
+	walk = func(sym string) bool {
+		if seen[sym] {
+			return false
+		}
+		seen[sym] = true
+		if pred(sym) {
+			return true
+		}
+		for _, c := range g.Callees(sym) {
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func (g *CallGraph) node(sym string) *CallNode {
+	n := g.nodes[sym]
+	if n == nil {
+		n = &CallNode{
+			Symbol:    sym,
+			calleeSet: make(map[string]bool),
+			callerSet: make(map[string]bool),
+		}
+		g.nodes[sym] = n
+		g.order = append(g.order, sym)
+	}
+	return n
+}
+
+func (g *CallGraph) addEdge(caller, callee string) {
+	from, to := g.node(caller), g.node(callee)
+	if !from.calleeSet[callee] {
+		from.calleeSet[callee] = true
+		from.callees = append(from.callees, callee)
+	}
+	if !to.callerSet[caller] {
+		to.callerSet[caller] = true
+		to.callers = append(to.callers, caller)
+	}
+}
+
+// AddPackage records pkg's function declarations and their static call
+// edges. Packages must be added in a deterministic order (Lint adds them
+// in dependency order) so node ordering is reproducible.
+func (g *CallGraph) AddPackage(pkg *Package) {
+	type ifaceCall struct {
+		caller string
+		iface  *types.Interface
+		method string
+	}
+	var ifaceCalls []ifaceCall
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			caller := Symbol(obj)
+			n := g.node(caller)
+			n.Fn, n.Decl, n.Pkg = obj, decl, pkg
+			ast.Inspect(decl.Body, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := CalleeFunc(pkg.Info, call)
+				if callee == nil {
+					return true
+				}
+				g.addEdge(caller, Symbol(callee))
+				if to := g.nodes[Symbol(callee)]; to.Fn == nil {
+					to.Fn = callee
+				}
+				// A call through an interface method also (potentially)
+				// dispatches to any implementation; resolved after all
+				// declarations of this package are in the graph.
+				if recv := callee.Type().(*types.Signature).Recv(); recv != nil {
+					if iface, ok := recv.Type().Underlying().(*types.Interface); ok {
+						ifaceCalls = append(ifaceCalls, ifaceCall{caller, iface, callee.Name()})
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, ic := range ifaceCalls {
+		for _, impl := range implementations(pkg, ic.iface, ic.method) {
+			g.addEdge(ic.caller, Symbol(impl))
+			if to := g.nodes[Symbol(impl)]; to.Fn == nil {
+				to.Fn = impl
+			}
+		}
+	}
+}
+
+// implementations returns, in deterministic order, the concrete methods
+// named method of pkg-scope named types whose method set satisfies iface.
+func implementations(pkg *Package, iface *types.Interface, method string) []*types.Func {
+	if pkg.Types == nil {
+		return nil
+	}
+	scope := pkg.Types.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	var impls []*types.Func
+	for _, name := range names {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if types.IsInterface(named) {
+			continue
+		}
+		recv := types.Type(named)
+		if !types.Implements(recv, iface) {
+			recv = types.NewPointer(named)
+			if !types.Implements(recv, iface) {
+				continue
+			}
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, pkg.Types, method)
+		if fn, ok := obj.(*types.Func); ok {
+			impls = append(impls, fn)
+		}
+	}
+	return impls
+}
+
+// CalleeFunc resolves the function a call expression statically invokes:
+// a package-level function, a method (through types.Selections), or a
+// qualified pkg.Fn reference. Conversions, calls of function-typed
+// variables, and built-ins resolve to nil.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+const obspairPath = "rfidest/internal/analysis/testdata/obspair"
+
+func loadGraph(t *testing.T, dir string) (*Package, *CallGraph) {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewCallGraph()
+	g.AddPackage(pkg)
+	return pkg, g
+}
+
+func TestCallGraphStaticEdges(t *testing.T) {
+	_, g := loadGraph(t, "testdata/obspair")
+
+	crossPair := obspairPath + ".crossPair"
+	closer := obspairPath + ".closer"
+	endPhase := "(*" + obspairPath + ".Reader).EndPhase"
+
+	if !hasSymbol(g.Callees(crossPair), closer) {
+		t.Errorf("crossPair callees %v missing %s", g.Callees(crossPair), closer)
+	}
+	if !hasSymbol(g.Callees(closer), endPhase) {
+		t.Errorf("closer callees %v missing method %s", g.Callees(closer), endPhase)
+	}
+	if !hasSymbol(g.Callers(closer), crossPair) {
+		t.Errorf("closer callers %v missing %s (edges must be symmetric)", g.Callers(closer), crossPair)
+	}
+
+	n := g.Node(crossPair)
+	if n == nil || n.Decl == nil || n.Fn == nil {
+		t.Fatalf("node for %s missing declaration info: %+v", crossPair, n)
+	}
+	if n.Decl.Name.Name != "crossPair" {
+		t.Errorf("node decl is %s, want crossPair", n.Decl.Name.Name)
+	}
+}
+
+func TestCallGraphReaches(t *testing.T) {
+	_, g := loadGraph(t, "testdata/obspair")
+	crossPair := obspairPath + ".crossPair"
+	closer := obspairPath + ".closer"
+	// Transitive: crossPair -> closer -> (*Reader).EndPhase.
+	if !g.Reaches(crossPair, func(sym string) bool { return strings.HasSuffix(sym, ".EndPhase") }) {
+		t.Errorf("%s does not reach EndPhase through the graph", crossPair)
+	}
+	if g.Reaches(closer, func(sym string) bool { return strings.HasSuffix(sym, ".StartPhase") }) {
+		t.Errorf("%s reaches StartPhase, but calls only EndPhase", closer)
+	}
+}
+
+// TestCallGraphDeterministicOrder pins Funcs() to insertion order: two
+// builds over the same package must agree node for node, which is what
+// keeps fact iteration and -json output reproducible.
+func TestCallGraphDeterministicOrder(t *testing.T) {
+	_, g1 := loadGraph(t, "testdata/obspair")
+	_, g2 := loadGraph(t, "testdata/obspair")
+	f1, f2 := g1.Funcs(), g2.Funcs()
+	if len(f1) == 0 || len(f1) != len(f2) {
+		t.Fatalf("node counts differ: %d vs %d", len(f1), len(f2))
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("node order diverges at %d: %s vs %s", i, f1[i], f2[i])
+		}
+	}
+}
+
+func hasSymbol(syms []string, want string) bool {
+	for _, s := range syms {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rfidest/internal/analysis"
+	"rfidest/internal/analysis/analysistest"
+)
+
+func TestErrDropGolden(t *testing.T) {
+	analysistest.Run(t, analysis.ErrDrop, "testdata/errdrop")
+}
+
+// TestErrDropFix pins the suggested fixes against the golden file: bare
+// contract calls gain explicit blanks ("_ = Run()", "_, _ = Merge(5)"),
+// while the already-explicit discards (blank assigns, go, defer) carry
+// no fix and stay untouched.
+func TestErrDropFix(t *testing.T) {
+	analysistest.RunFix(t, analysis.ErrDrop, "testdata/errdrop")
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import "sort"
+
+// A Fact is a durable, analyzer-defined statement about a function or
+// other package-level object — "returns a constant-derived seed",
+// "discarding this function's error drops a contract error", "this
+// helper closes the open phase span". Facts are how analyzers see
+// across package boundaries: Lint processes packages in dependency
+// order with one shared FactStore, so when internal/fleet is analyzed,
+// the facts its analyzers exported about fleet.Run are already in the
+// store by the time cmd/rfidfleet (which imports it) is reached.
+//
+// Facts are keyed by (analyzer, Symbol(obj)) rather than by object
+// identity: the loader type-checks a package twice over its lifetime
+// (once strictly for analysis, once laxly as an import of its
+// dependents), and string symbols are the identity that survives both.
+type Fact interface {
+	// String renders the fact; the analysistest harness matches it
+	// against // wantfact expectations, and duplicate exports of a fact
+	// with the same rendering are coalesced.
+	String() string
+}
+
+type factKey struct {
+	analyzer string
+	symbol   string
+}
+
+// FactStore holds every fact exported during one analysis run. Each
+// analyzer sees only its own facts (the store namespaces by analyzer
+// name), so fact types cannot collide across analyzers.
+type FactStore struct {
+	facts map[factKey][]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: make(map[factKey][]Fact)}
+}
+
+// add records f for (analyzer, symbol), coalescing duplicates by their
+// String rendering. It reports whether the store changed — analyzers use
+// that to drive their intra-package fixpoint loops.
+func (s *FactStore) add(analyzer, symbol string, f Fact) bool {
+	k := factKey{analyzer, symbol}
+	for _, have := range s.facts[k] {
+		if have.String() == f.String() {
+			return false
+		}
+	}
+	s.facts[k] = append(s.facts[k], f)
+	return true
+}
+
+func (s *FactStore) get(analyzer, symbol string) []Fact {
+	return s.facts[factKey{analyzer, symbol}]
+}
+
+// Facts returns the facts the named analyzer exported about symbol. It
+// is the exported face of the store for harnesses and tests; analyzers
+// use Pass.FactsOn.
+func (s *FactStore) Facts(analyzer, symbol string) []Fact {
+	return s.get(analyzer, symbol)
+}
+
+// Symbols returns, sorted, every symbol the named analyzer exported a
+// fact about. It exists for tests and debugging output.
+func (s *FactStore) Symbols(analyzer string) []string {
+	var syms []string
+	for k := range s.facts {
+		if k.analyzer == analyzer {
+			syms = append(syms, k.symbol)
+		}
+	}
+	sort.Strings(syms)
+	return syms
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+type testFact string
+
+func (f testFact) String() string { return string(f) }
+
+func TestFactStoreDedupe(t *testing.T) {
+	s := NewFactStore()
+	if !s.add("a", "pkg.F", testFact("x")) {
+		t.Error("first add reported no change")
+	}
+	if s.add("a", "pkg.F", testFact("x")) {
+		t.Error("duplicate add reported a change")
+	}
+	if !s.add("a", "pkg.F", testFact("y")) {
+		t.Error("distinct fact on same symbol reported no change")
+	}
+	if got := len(s.Facts("a", "pkg.F")); got != 2 {
+		t.Errorf("facts on pkg.F = %d, want 2", got)
+	}
+}
+
+func TestFactStoreNamespacedByAnalyzer(t *testing.T) {
+	s := NewFactStore()
+	s.add("a", "pkg.F", testFact("x"))
+	if got := s.Facts("b", "pkg.F"); len(got) != 0 {
+		t.Errorf("analyzer b sees analyzer a's facts: %v", got)
+	}
+	s.add("b", "pkg.G", testFact("y"))
+	if syms := s.Symbols("a"); len(syms) != 1 || syms[0] != "pkg.F" {
+		t.Errorf("Symbols(a) = %v, want [pkg.F]", syms)
+	}
+}
+
+func TestFactStoreSymbolsSorted(t *testing.T) {
+	s := NewFactStore()
+	for _, sym := range []string{"pkg.Z", "pkg.A", "pkg.M"} {
+		s.add("a", sym, testFact("x"))
+	}
+	syms := s.Symbols("a")
+	want := []string{"pkg.A", "pkg.M", "pkg.Z"}
+	for i := range want {
+		if syms[i] != want[i] {
+			t.Fatalf("Symbols = %v, want %v", syms, want)
+		}
+	}
+}
+
+// TestSortDiagnosticsTiebreak pins the full sort key: position first,
+// then analyzer, then message — so co-located findings (possible when an
+// interprocedural pass reports a call site once per consumed fact) keep
+// a stable order in golden tests and -json/-sarif output.
+func TestSortDiagnosticsTiebreak(t *testing.T) {
+	at := func(file string, line, col int, analyzer, msg string) Diagnostic {
+		return Diagnostic{
+			Pos:      token.Position{Filename: file, Line: line, Column: col},
+			Analyzer: analyzer,
+			Message:  msg,
+		}
+	}
+	diags := []Diagnostic{
+		at("b.go", 1, 1, "aaa", "m"),
+		at("a.go", 2, 1, "aaa", "m"),
+		at("a.go", 1, 2, "aaa", "m"),
+		at("a.go", 1, 1, "zzz", "m"),
+		at("a.go", 1, 1, "aaa", "z-message"),
+		at("a.go", 1, 1, "aaa", "a-message"),
+	}
+	sortDiagnostics(diags)
+	want := []Diagnostic{
+		at("a.go", 1, 1, "aaa", "a-message"),
+		at("a.go", 1, 1, "aaa", "z-message"),
+		at("a.go", 1, 1, "zzz", "m"),
+		at("a.go", 1, 2, "aaa", "m"),
+		at("a.go", 2, 1, "aaa", "m"),
+		at("b.go", 1, 1, "aaa", "m"),
+	}
+	for i := range want {
+		if diags[i] != want[i] {
+			t.Fatalf("position %d: got %+v, want %+v", i, diags[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+	"strings"
+)
+
+// TextEdit replaces the bytes [Start, End) of File with NewText. Offsets
+// are byte offsets into the file's original content; an insertion has
+// Start == End.
+type TextEdit struct {
+	File       string
+	Start, End int
+	NewText    string
+}
+
+// SuggestedFix is a mechanical repair attached to a Diagnostic. Fixes
+// must be conservative: applying one may leave a (now explicit) finding
+// behind for a human to justify, but it must never change behaviour
+// beyond what its message states, and the result must gofmt cleanly —
+// ApplyFixes formats and re-parses every file it touches and fails
+// loudly if a fix produced syntactically invalid code.
+type SuggestedFix struct {
+	// Message describes the repair ("make the discarded error explicit").
+	Message string
+	Edits   []TextEdit
+}
+
+// ApplyFixes computes the post-fix contents of every file touched by the
+// diagnostics' suggested fixes. src seeds file contents (the loader's
+// Package.Src, or nil to read from disk). Fixes are applied in
+// diagnostic order; a fix whose edits overlap an already-accepted edit
+// is dropped (deterministically — the earlier diagnostic wins), so the
+// result is always a consistent single application. Every changed file
+// is gofmt-formatted, which also verifies the fixed source still parses.
+//
+// The returned map holds only changed files; applied counts the fixes
+// that made it in.
+func ApplyFixes(diags []Diagnostic, src map[string][]byte) (fixed map[string][]byte, applied int, err error) {
+	edits := make(map[string][]TextEdit)
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			continue
+		}
+		if overlapsAny(edits, d.Fix.Edits) {
+			continue
+		}
+		applied++
+		for _, e := range d.Fix.Edits {
+			edits[e.File] = append(edits[e.File], e)
+		}
+	}
+	if applied == 0 {
+		return nil, 0, nil
+	}
+	fixed = make(map[string][]byte, len(edits))
+	for file, es := range edits {
+		content, ok := src[file]
+		if !ok {
+			content, err = os.ReadFile(file)
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		out, err := applyEdits(content, es)
+		if err != nil {
+			return nil, 0, fmt.Errorf("analysis: fix %s: %v", file, err)
+		}
+		formatted, err := format.Source(out)
+		if err != nil {
+			// A suggested fix produced unparseable Go: an analyzer bug,
+			// surfaced instead of written to disk.
+			return nil, 0, fmt.Errorf("analysis: fix %s produced invalid Go: %v", file, err)
+		}
+		fixed[file] = formatted
+	}
+	return fixed, applied, nil
+}
+
+// overlapsAny reports whether any of es overlaps an edit already
+// accepted into acc. Two insertions at the same offset count as an
+// overlap (their order would be ambiguous).
+func overlapsAny(acc map[string][]TextEdit, es []TextEdit) bool {
+	for _, e := range es {
+		for _, have := range acc[e.File] {
+			if e.Start < have.End && have.Start < e.End {
+				return true
+			}
+			if e.Start == e.End && have.Start == have.End && e.Start == have.Start {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// applyEdits applies non-overlapping edits to content, back to front so
+// earlier offsets stay valid.
+func applyEdits(content []byte, es []TextEdit) ([]byte, error) {
+	sorted := append([]TextEdit(nil), es...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start > sorted[j].Start })
+	out := append([]byte(nil), content...)
+	for _, e := range sorted {
+		if e.Start < 0 || e.End < e.Start || e.End > len(content) {
+			return nil, fmt.Errorf("edit [%d,%d) out of range (len %d)", e.Start, e.End, len(content))
+		}
+		out = append(out[:e.Start], append([]byte(e.NewText), out[e.End:]...)...)
+	}
+	return out, nil
+}
+
+// UnifiedDiff renders a unified diff (3 lines of context) between a and
+// b, labelled name. It returns "" when the contents are identical. The
+// diff is computed line-by-line with a plain LCS — quadratic, which is
+// fine for source files.
+func UnifiedDiff(name string, a, b []byte) string {
+	if bytes.Equal(a, b) {
+		return ""
+	}
+	al, bl := splitLines(a), splitLines(b)
+	ops := diffOps(al, bl)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s (fixed)\n", name, name)
+	const ctx = 3
+	for i := 0; i < len(ops); {
+		if ops[i].kind == opEqual {
+			i++
+			continue
+		}
+		// Expand a hunk around this run of changes.
+		start := i
+		end := i
+		for end < len(ops) {
+			if ops[end].kind == opEqual {
+				// Close the hunk unless another change follows within
+				// 2*ctx equal lines.
+				run := 0
+				for end+run < len(ops) && ops[end+run].kind == opEqual {
+					run++
+				}
+				if end+run == len(ops) || run > 2*ctx {
+					break
+				}
+				end += run
+			}
+			end++
+		}
+		lo := start - ctx
+		if lo < 0 {
+			lo = 0
+		}
+		hi := end + ctx
+		if hi > len(ops) {
+			hi = len(ops)
+		}
+		aStart, bStart, aN, bN := hunkRange(ops, lo, hi)
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", aStart+1, aN, bStart+1, bN)
+		for _, op := range ops[lo:hi] {
+			switch op.kind {
+			case opEqual:
+				sb.WriteString(" " + op.text + "\n")
+			case opDelete:
+				sb.WriteString("-" + op.text + "\n")
+			case opInsert:
+				sb.WriteString("+" + op.text + "\n")
+			}
+		}
+		i = hi
+	}
+	return sb.String()
+}
+
+type diffOpKind int
+
+const (
+	opEqual diffOpKind = iota
+	opDelete
+	opInsert
+)
+
+type diffOp struct {
+	kind   diffOpKind
+	text   string
+	aIndex int // line index in a (equal/delete)
+	bIndex int // line index in b (equal/insert)
+}
+
+func splitLines(b []byte) []string {
+	s := strings.TrimSuffix(string(b), "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// diffOps computes an edit script between line slices via LCS.
+func diffOps(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{opEqual, a[i], i, j})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{opDelete, a[i], i, j})
+			i++
+		default:
+			ops = append(ops, diffOp{opInsert, b[j], i, j})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{opDelete, a[i], i, j})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{opInsert, b[j], i, j})
+	}
+	return ops
+}
+
+// hunkRange returns the a/b start line indices and line counts covered
+// by ops[lo:hi].
+func hunkRange(ops []diffOp, lo, hi int) (aStart, bStart, aN, bN int) {
+	aStart, bStart = ops[lo].aIndex, ops[lo].bIndex
+	for _, op := range ops[lo:hi] {
+		switch op.kind {
+		case opEqual:
+			aN++
+			bN++
+		case opDelete:
+			aN++
+		case opInsert:
+			bN++
+		}
+	}
+	return aStart, bStart, aN, bN
+}

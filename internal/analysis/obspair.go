@@ -1,0 +1,394 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ObsPair enforces the span-pairing contract of the observability layer:
+// every phase span a function opens (channel.Reader.StartPhase) must
+// reach a matching EndPhase on every return path — otherwise the span's
+// cost accounting silently attributes the rest of the session to the
+// unfinished phase (PhaseEnd never fires, histograms and per-phase slot
+// counters skew, and the next StartPhase papers over it via the implicit
+// close).
+//
+// The analysis walks each function body as a block-structured control
+// flow approximation, tracking whether a span is open. Pairings may
+// cross function boundaries: a callee that closes the caller's open span
+// on all its paths exports endsPhaseFact and counts as an EndPhase at
+// the call site (including via defer or a goroutine hand-off — "go
+// closer(r)" transfers the obligation to a goroutine that demonstrably
+// closes); a helper that uniformly leaves a span open exports
+// opensPhaseFact, is itself reported (a deliberate opener carries a
+// reasoned //lint:allow obspair), and makes every caller inherit the
+// close obligation.
+var ObsPair = &Analyzer{
+	Name: "obspair",
+	Doc: "require every StartPhase to reach a matching EndPhase on all return paths, " +
+		"across function boundaries and goroutine hand-offs; an unclosed span corrupts per-phase cost accounting",
+	Interprocedural: true,
+	Run:             runObsPair,
+}
+
+// endsPhaseFact marks a function that, entered with a span open, closes
+// it on every path — calling it counts as an EndPhase.
+type endsPhaseFact struct{}
+
+func (endsPhaseFact) String() string { return "closes the caller's open phase span" }
+
+// opensPhaseFact marks a function that uniformly exits with a span open
+// — calling it counts as a StartPhase and passes the close obligation to
+// the caller.
+type opensPhaseFact struct{}
+
+func (opensPhaseFact) String() string { return "leaves a phase span open for its caller" }
+
+func runObsPair(pass *Pass) error {
+	op := &obspair{pass: pass}
+	decls := packageFuncDecls(pass)
+	for range decls {
+		changed := false
+		for _, d := range decls {
+			if op.analyzeFunc(d, false) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, d := range decls {
+		op.analyzeFunc(d, true)
+	}
+	return nil
+}
+
+type obspair struct {
+	pass *Pass
+}
+
+// spanExit records one way out of a function: a return statement or the
+// fall-through end of the body, with the span state at that point.
+type spanExit struct {
+	pos    token.Pos // where the exit happens
+	openAt token.Pos // where the still-open span was opened; NoPos if closed
+}
+
+// spanScan walks one function body. open is the position of the
+// currently-open span's StartPhase (NoPos when closed).
+type spanScan struct {
+	op          *obspair
+	defersClose bool
+	exits       []spanExit
+}
+
+func (op *obspair) analyzeFunc(decl *ast.FuncDecl, report bool) bool {
+	pass := op.pass
+	obj := pass.Info.Defs[decl.Name]
+	if obj == nil {
+		return false
+	}
+
+	// Entered-closed scan: the function's own obligations.
+	closedScan := &spanScan{op: op}
+	exitOpen, terminated := closedScan.block(decl.Body.List, token.NoPos)
+	if !terminated {
+		closedScan.exits = append(closedScan.exits, spanExit{pos: decl.Body.Rbrace, openAt: exitOpen})
+	}
+	var openExits, closedExits []spanExit
+	for _, e := range closedScan.exits {
+		if e.openAt != token.NoPos && !closedScan.defersClose {
+			openExits = append(openExits, e)
+		} else {
+			closedExits = append(closedExits, e)
+		}
+	}
+
+	changed := false
+	switch {
+	case len(openExits) > 0 && len(closedExits) == 0:
+		// Uniform opener: exports the obligation to its callers, and is
+		// reported once at the opening — a deliberate opener suppresses
+		// with a reason and its callers stay checked via the fact.
+		if op.pass.ExportFact(obj, opensPhaseFact{}) {
+			changed = true
+		}
+		if report {
+			pass.Reportf(openExits[0].openAt,
+				"phase span opened here never reaches EndPhase in this function; close it on every return path, hand it off to a closer, or mark a deliberate opener with //lint:allow obspair")
+		}
+	case len(openExits) > 0:
+		// Mixed paths: a genuine leak on the open ones.
+		if report {
+			for _, e := range openExits {
+				pass.Reportf(e.pos,
+					"return with the phase span opened at line %d still open; every return path must EndPhase (or defer it)",
+					pass.Fset.Position(e.openAt).Line)
+			}
+		}
+	}
+
+	// Entered-open scan: does calling this function close an open span on
+	// every path? (The implicit-close semantics of StartPhase make a
+	// start-then-end body a closer too.)
+	openScan := &spanScan{op: op}
+	sentinel := decl.Body.Lbrace // any non-NoPos marker for "open at entry"
+	exitOpen, terminated = openScan.block(decl.Body.List, sentinel)
+	allClosed := true
+	if !terminated && exitOpen != token.NoPos && !openScan.defersClose {
+		allClosed = false
+	}
+	for _, e := range openScan.exits {
+		if e.openAt != token.NoPos && !openScan.defersClose {
+			allClosed = false
+		}
+	}
+	// Only a function that actually touches spans is a closer; otherwise
+	// every leaf function would export the fact vacuously.
+	if allClosed && op.touchesSpans(decl) {
+		if op.pass.ExportFact(obj, endsPhaseFact{}) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// touchesSpans reports whether the function body contains any span
+// operation (direct or fact-carrying call).
+func (op *obspair) touchesSpans(decl *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if k, _ := op.classify(call); k != spanNone {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+type spanEffect int
+
+const (
+	spanNone spanEffect = iota
+	spanOpen
+	spanClose
+)
+
+// classify resolves the span effect of one call: StartPhase (by name, or
+// an opensPhaseFact callee) opens, EndPhase (by name, or an endsPhaseFact
+// callee) closes. An immediately invoked function literal is inlined by
+// the caller, not classified.
+func (op *obspair) classify(call *ast.CallExpr) (spanEffect, token.Pos) {
+	fn := CalleeFunc(op.pass.Info, call)
+	if fn == nil {
+		return spanNone, token.NoPos
+	}
+	switch fn.Name() {
+	case "StartPhase":
+		return spanOpen, call.Pos()
+	case "EndPhase":
+		return spanClose, token.NoPos
+	}
+	for _, f := range op.pass.FactsOn(fn) {
+		switch f.(type) {
+		case opensPhaseFact:
+			return spanOpen, call.Pos()
+		case endsPhaseFact:
+			return spanClose, token.NoPos
+		}
+	}
+	return spanNone, token.NoPos
+}
+
+// closesWhenRun reports whether running e (a go/defer operand, or a
+// function literal) with a span open would close it on all paths.
+func (op *obspair) closesWhenRun(call *ast.CallExpr) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		s := &spanScan{op: op}
+		sentinel := lit.Body.Lbrace
+		exitOpen, terminated := s.block(lit.Body.List, sentinel)
+		if !terminated && exitOpen != token.NoPos && !s.defersClose {
+			return false
+		}
+		for _, e := range s.exits {
+			if e.openAt != token.NoPos && !s.defersClose {
+				return false
+			}
+		}
+		return true
+	}
+	k, _ := op.classify(call)
+	return k == spanClose
+}
+
+// stmt processes one statement, returning the new open state and whether
+// the path terminated (return / terminating branch).
+func (s *spanScan) stmt(st ast.Stmt, open token.Pos) (token.Pos, bool) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		return s.exprCalls(st.X, open), false
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			open = s.exprCalls(rhs, open)
+		}
+		return open, false
+	case *ast.DeferStmt:
+		if s.op.closesWhenRun(st.Call) {
+			s.defersClose = true
+		}
+		return open, false
+	case *ast.GoStmt:
+		if s.op.closesWhenRun(st.Call) {
+			return token.NoPos, false // hand-off: the goroutine closes it
+		}
+		return open, false
+	case *ast.ReturnStmt:
+		s.exits = append(s.exits, spanExit{pos: st.Pos(), openAt: open})
+		return open, true
+	case *ast.BlockStmt:
+		return s.block(st.List, open)
+	case *ast.LabeledStmt:
+		return s.stmt(st.Stmt, open)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			open, _ = s.stmt(st.Init, open)
+		}
+		thenOpen, thenTerm := s.block(st.Body.List, open)
+		elseOpen, elseTerm := open, false
+		if st.Else != nil {
+			elseOpen, elseTerm = s.stmt(st.Else, open)
+		}
+		return mergeBranches(open, thenOpen, thenTerm, elseOpen, elseTerm)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			open, _ = s.stmt(st.Init, open)
+		}
+		bodyOpen, _ := s.block(st.Body.List, open)
+		return joinOpen(open, bodyOpen), false // body may run zero times
+	case *ast.RangeStmt:
+		bodyOpen, _ := s.block(st.Body.List, open)
+		return joinOpen(open, bodyOpen), false
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			open, _ = s.stmt(st.Init, open)
+		}
+		return s.clauses(st.Body, open)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			open, _ = s.stmt(st.Init, open)
+		}
+		return s.clauses(st.Body, open)
+	case *ast.SelectStmt:
+		return s.clauses(st.Body, open)
+	case *ast.BranchStmt:
+		// break/continue/goto end this linear path; the target re-enters
+		// with a state we already tracked conservatively.
+		return open, true
+	default:
+		return open, false
+	}
+}
+
+// exprCalls applies the span effects of the calls syntactically inside
+// e, in evaluation order. An immediately invoked function literal is
+// inlined.
+func (s *spanScan) exprCalls(e ast.Expr, open token.Pos) token.Pos {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // non-invoked literal bodies are separate functions
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+			open, _ = s.block(lit.Body.List, open)
+			return false
+		}
+		eff, pos := s.op.classify(call)
+		switch eff {
+		case spanOpen:
+			open = pos
+		case spanClose:
+			open = token.NoPos
+		}
+		return true
+	})
+	return open
+}
+
+// block scans a statement list, returning the open state at its end and
+// whether every path through it terminated.
+func (s *spanScan) block(stmts []ast.Stmt, open token.Pos) (token.Pos, bool) {
+	for _, st := range stmts {
+		var term bool
+		open, term = s.stmt(st, open)
+		if term {
+			return open, true
+		}
+	}
+	return open, false
+}
+
+// clauses scans the case bodies of a switch/select, merging their exit
+// states. Without a default clause the zero-cases-taken fall-through
+// keeps the entry state alive; with one, only the case exits matter.
+func (s *spanScan) clauses(body *ast.BlockStmt, open token.Pos) (token.Pos, bool) {
+	merged := token.NoPos
+	hasDefault := false
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+			hasDefault = hasDefault || c.List == nil
+		case *ast.CommClause:
+			stmts = c.Body
+			hasDefault = hasDefault || c.Comm == nil
+		}
+		caseOpen, caseTerm := s.block(stmts, open)
+		if !caseTerm {
+			merged = joinOpen(merged, caseOpen)
+		}
+	}
+	if !hasDefault {
+		merged = joinOpen(merged, open)
+	}
+	return merged, false
+}
+
+// mergeBranches joins the two arms of an if.
+func mergeBranches(entry, thenOpen token.Pos, thenTerm bool, elseOpen token.Pos, elseTerm bool) (token.Pos, bool) {
+	switch {
+	case thenTerm && elseTerm:
+		return entry, true
+	case thenTerm:
+		return elseOpen, false
+	case elseTerm:
+		return thenOpen, false
+	default:
+		return joinOpen(thenOpen, elseOpen), false
+	}
+}
+
+// joinOpen merges two path states: open (either side) wins, keeping the
+// earlier opening position for stable reporting.
+func joinOpen(a, b token.Pos) token.Pos {
+	if a == token.NoPos {
+		return b
+	}
+	if b == token.NoPos {
+		return a
+	}
+	if b < a {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rfidest/internal/analysis"
+	"rfidest/internal/analysis/analysistest"
+)
+
+func TestObsPairGolden(t *testing.T) {
+	analysistest.Run(t, analysis.ObsPair, "testdata/obspair")
+}

@@ -11,9 +11,13 @@ import (
 )
 
 // Lint expands the go-style patterns (a directory, or dir/... for a
-// recursive walk), loads each matched package, and runs every registered
-// analyzer whose scope covers it. Findings come back suppressed, merged
-// and position-sorted.
+// recursive walk), loads each matched package plus the module-internal
+// packages they (transitively) import, orders everything by dependency,
+// and runs every registered analyzer. Findings are reported only for the
+// pattern-matched packages; dependency packages outside the pattern set
+// get a fact-only pass of the interprocedural analyzers, so facts about,
+// say, internal/xrand are present even when only internal/fleet was
+// asked for. Findings come back suppressed, merged and position-sorted.
 func Lint(analyzers []*Analyzer, patterns []string) ([]Diagnostic, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -26,17 +30,24 @@ func Lint(analyzers []*Analyzer, patterns []string) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
+	pkgs, targets, err := loadWithDeps(loader, dirs)
+	if err != nil {
+		return nil, err
+	}
+	pkgs = dependencyOrder(pkgs)
+	graph := NewCallGraph()
+	for _, pkg := range pkgs {
+		graph.AddPackage(pkg)
+	}
+	facts := NewFactStore()
 	var diags []Diagnostic
-	for _, dir := range dirs {
-		pkg, err := loader.LoadDir(dir)
-		if err != nil {
-			return diags, err
-		}
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			if a.AppliesTo != nil && !a.AppliesTo(pkg.Rel) {
-				continue
+			report := targets[pkg.Path] && (a.AppliesTo == nil || a.AppliesTo(pkg.Rel))
+			if !report && !a.Interprocedural {
+				continue // nothing to report, no facts to gather
 			}
-			ds, err := Check(a, pkg)
+			ds, err := runAnalyzer(a, pkg, graph, facts, report)
 			if err != nil {
 				return diags, err
 			}
@@ -45,6 +56,108 @@ func Lint(analyzers []*Analyzer, patterns []string) ([]Diagnostic, error) {
 	}
 	sortDiagnostics(diags)
 	return diags, nil
+}
+
+// loadWithDeps loads the packages in dirs and then the transitive
+// closure of their module-internal imports. targets marks the import
+// paths of the pattern-matched packages (the ones whose findings Lint
+// reports).
+func loadWithDeps(loader *Loader, dirs []string) ([]*Package, map[string]bool, error) {
+	targets := make(map[string]bool)
+	loaded := make(map[string]*Package)
+	queued := make(map[string]bool)
+	var pkgs []*Package
+	var queue []string // directories still to load
+	for _, dir := range dirs {
+		if !queued[dir] {
+			queued[dir] = true
+			queue = append(queue, dir)
+		}
+	}
+	targetCount := len(queue)
+	for i := 0; i < len(queue); i++ {
+		pkg, err := loader.LoadDir(queue[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		if i < targetCount {
+			targets[pkg.Path] = true
+		}
+		if loaded[pkg.Path] != nil {
+			continue
+		}
+		loaded[pkg.Path] = pkg
+		pkgs = append(pkgs, pkg)
+		for _, imp := range moduleImports(loader, pkg) {
+			if loaded[imp] != nil {
+				continue
+			}
+			dir, err := loader.dirFor(imp)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !queued[dir] {
+				queued[dir] = true
+				queue = append(queue, dir)
+			}
+		}
+	}
+	return pkgs, targets, nil
+}
+
+// moduleImports returns pkg's direct module-internal imports, sorted.
+func moduleImports(loader *Loader, pkg *Package) []string {
+	if pkg.Types == nil {
+		return nil
+	}
+	var paths []string
+	for _, imp := range pkg.Types.Imports() {
+		p := imp.Path()
+		if p == loader.ModulePath || strings.HasPrefix(p, loader.ModulePath+"/") {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// dependencyOrder sorts packages so every package follows all of its
+// module-internal imports — the order that makes fact propagation work:
+// by the time a package is analyzed, facts about everything it imports
+// are already in the store. Ties (unrelated packages) break by path.
+func dependencyOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	seen := make(map[string]bool, len(pkgs))
+	var out []*Package
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if seen[p.Path] {
+			return
+		}
+		seen[p.Path] = true
+		if p.Types != nil {
+			var deps []string
+			for _, imp := range p.Types.Imports() {
+				if byPath[imp.Path()] != nil {
+					deps = append(deps, imp.Path())
+				}
+			}
+			sort.Strings(deps)
+			for _, d := range deps {
+				visit(byPath[d])
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range sorted {
+		visit(p)
+	}
+	return out
 }
 
 // expandPatterns resolves patterns to package directories. Like the go

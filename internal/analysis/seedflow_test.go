@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rfidest/internal/analysis"
+	"rfidest/internal/analysis/analysistest"
+)
+
+func TestSeedFlowGolden(t *testing.T) {
+	analysistest.Run(t, analysis.SeedFlow, "testdata/seedflow")
+}
+
+func TestSeedFlowScope(t *testing.T) {
+	for rel, covered := range map[string]bool{
+		".":                   true,
+		"internal/experiment": true,
+		"internal/channel":    true,
+		"cmd/rfidfleet":       true,
+		"examples":            false,
+		"examples/quickstart": false,
+	} {
+		if got := analysis.SeedFlow.AppliesTo(rel); got != covered {
+			t.Errorf("seedflow covers %q = %v, want %v", rel, got, covered)
+		}
+	}
+}

@@ -9,10 +9,11 @@ import (
 //	//lint:allow <name>[,<name>...] <reason>
 //
 // A trailing comment suppresses matching findings on its own line; a
-// comment alone on a line suppresses findings on the line below it. The
-// reason is free text and should say why the exception is sound — the
-// point of in-source suppression is that every exception stays visible
-// (and reviewable) at the use site.
+// comment alone on a line suppresses findings on the line below it —
+// only that line, never a whole block. The reason is free text saying
+// why the exception is sound, and it is mandatory: an allow without a
+// reason suppresses nothing, so every exception stays visible (and
+// reviewable) at the use site with its justification attached.
 const allowPrefix = "lint:allow"
 
 // suppressions maps filename -> line -> analyzer names allowed there.
@@ -29,8 +30,8 @@ func suppressionsFor(pkg *Package) suppressions {
 					continue
 				}
 				fields := strings.Fields(text)
-				if len(fields) == 0 {
-					continue
+				if len(fields) < 2 {
+					continue // no reason given: the allow is inert
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				line := pos.Line

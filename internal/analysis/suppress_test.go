@@ -1,9 +1,27 @@
 package analysis
 
 import (
+	"go/ast"
+	"go/parser"
 	"go/token"
 	"testing"
 )
+
+// parseSuppressPackage builds the minimal Package suppressionsFor needs
+// (syntax, positions, raw source) from one in-memory file.
+func parseSuppressPackage(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{
+		Fset:  fset,
+		Files: []*ast.File{f},
+		Src:   map[string][]byte{"test.go": []byte(src)},
+	}
+}
 
 func TestStandalone(t *testing.T) {
 	src := []byte("x := 1 // trailing\n\t//lint:allow detrand reason\n")
@@ -41,5 +59,76 @@ func TestFilterSuppressed(t *testing.T) {
 		if d.Pos.Filename == "a.go" && d.Pos.Line == 10 && d.Analyzer == "detrand" {
 			t.Fatal("suppressed diagnostic survived")
 		}
+	}
+}
+
+// TestSuppressMultipleAnalyzers covers the comma form: one allow comment
+// silencing two analyzers on the same line (the internal/experiment
+// parallelMap shape, where ctxbg and errdrop fire together).
+func TestSuppressMultipleAnalyzers(t *testing.T) {
+	pkg := parseSuppressPackage(t, `package p
+
+func f() {
+	_ = 1 //lint:allow ctxbg,errdrop both findings are one deliberate design choice
+}
+`)
+	sup := suppressionsFor(pkg)
+	names := sup["test.go"][4]
+	if !names["ctxbg"] || !names["errdrop"] {
+		t.Errorf("line 4 allows = %v, want both ctxbg and errdrop", names)
+	}
+	if names["detrand"] {
+		t.Error("unlisted analyzer suppressed")
+	}
+}
+
+// TestSuppressRequiresReason pins the mandatory-reason rule: an allow
+// with analyzer names but no justification suppresses nothing.
+func TestSuppressRequiresReason(t *testing.T) {
+	pkg := parseSuppressPackage(t, `package p
+
+func f() {
+	_ = 1 //lint:allow detrand
+	_ = 2 //lint:allow detrand a reason makes it count
+}
+`)
+	sup := suppressionsFor(pkg)
+	if sup["test.go"][4] != nil {
+		t.Errorf("reasonless allow on line 4 produced suppressions: %v", sup["test.go"][4])
+	}
+	if !sup["test.go"][5]["detrand"] {
+		t.Error("reasoned allow on line 5 did not suppress")
+	}
+}
+
+// TestSuppressStandaloneCoversOnlyNextLine pins the scope of a
+// standalone allow comment: exactly the next line, never the whole
+// following block.
+func TestSuppressStandaloneCoversOnlyNextLine(t *testing.T) {
+	pkg := parseSuppressPackage(t, `package p
+
+func f() {
+	//lint:allow detrand covers only the next line
+	_ = 1
+	_ = 2
+}
+`)
+	sup := suppressionsFor(pkg)
+	if !sup["test.go"][5]["detrand"] {
+		t.Error("standalone allow did not cover the next line")
+	}
+	if sup["test.go"][4] != nil {
+		t.Errorf("standalone allow covered its own line: %v", sup["test.go"][4])
+	}
+	if sup["test.go"][6] != nil {
+		t.Errorf("standalone allow leaked past the next line: %v", sup["test.go"][6])
+	}
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "test.go", Line: 5}, Analyzer: "detrand"},
+		{Pos: token.Position{Filename: "test.go", Line: 6}, Analyzer: "detrand"},
+	}
+	out := filterSuppressed(diags, sup)
+	if len(out) != 1 || out[0].Pos.Line != 6 {
+		t.Errorf("filter kept %v, want only the line-6 finding", out)
 	}
 }

@@ -1,0 +1,74 @@
+// Package errdroptest seeds discarded contract errors for the errdrop
+// golden test. The contract predicate is by function name within the
+// module, so the package is self-contained: its own Run and Merge stand
+// in for the estimation pipeline's entry points, and trial/trialVia are
+// the fact-marked wrappers that inherit the must-handle rule.
+package errdroptest
+
+import "errors"
+
+// Run is a contract API by name: its error result is load-bearing.
+func Run() error {
+	return errors.New("saturated")
+}
+
+// Merge returns a value alongside a contract error.
+func Merge(n int) (int, error) {
+	return n, errors.New("infeasible")
+}
+
+// trial forwards Run's error — a wrapper that inherits the contract.
+func trial() error { // wantfact `returns a contract error`
+	return Run()
+}
+
+// trialVia forwards through a local variable.
+func trialVia() error { // wantfact `returns a contract error`
+	err := Run()
+	return err
+}
+
+func dropBare() {
+	Run() // want `error returned by Run is silently discarded`
+}
+
+func dropBareTuple() {
+	Merge(5) // want `error returned by Merge is silently discarded`
+}
+
+func dropWrapper() {
+	trial() // want `error returned by trial is silently discarded`
+}
+
+func dropBlank() {
+	_ = Run() // want `error returned by Run is discarded into _`
+}
+
+func dropTuple() {
+	n, _ := Merge(3) // want `error returned by Merge is discarded into _`
+	_ = n
+}
+
+func dropGo() {
+	go Run() // want `error returned by Run is discarded by go`
+}
+
+func dropDefer() {
+	defer Run() // want `error returned by Run is discarded by defer`
+}
+
+// handled is the correct shape throughout — and, because it returns the
+// contract error it received, it becomes a contract API itself.
+func handled() error { // wantfact `returns a contract error`
+	if err := Run(); err != nil {
+		return err
+	}
+	n, err := Merge(4)
+	_ = n
+	return err
+}
+
+// deliberate is a sanctioned discard, kept visible with a reason.
+func deliberate() {
+	_ = Run() //lint:allow errdrop golden-test fixture for suppression
+}

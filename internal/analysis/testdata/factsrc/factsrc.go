@@ -1,0 +1,12 @@
+// Package factsrc is the provider half of the cross-package fact test:
+// a constructor whose parameter flows into an xrand root, exporting
+// seedflow's parameter fact for the consumer package to trip over.
+package factsrc
+
+import "rfidest/internal/xrand"
+
+// NewGen seeds a generator from its argument; callers must thread the
+// experiment seed in.
+func NewGen(seed uint64) *xrand.Rand {
+	return xrand.New(seed)
+}

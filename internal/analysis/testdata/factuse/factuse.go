@@ -1,0 +1,22 @@
+// Package factuse is the consumer half of the cross-package fact test:
+// it launders a constant through factsrc.NewGen, which only the fact
+// exported while analyzing factsrc can catch. The lint driver loads the
+// dependency closure of its targets, so linting this package alone
+// still finds the flow — and the suppressed variant shows //lint:allow
+// filtering a fact-derived diagnostic whose evidence lives in another
+// package.
+package factuse
+
+import "rfidest/internal/analysis/testdata/factsrc"
+
+func pinned() {
+	factsrc.NewGen(123) // want `constant seed flows through NewGen`
+}
+
+func threaded(seed uint64) {
+	factsrc.NewGen(seed)
+}
+
+func sanctioned() {
+	factsrc.NewGen(9) //lint:allow seedflow cross-package suppression fixture
+}

@@ -1,0 +1,99 @@
+// Package obspairtest seeds phase-span pairing violations for the
+// obspair golden test. The span surface is matched by method name, so a
+// local Reader with StartPhase/EndPhase keeps the package self-contained
+// while exercising every pairing shape: early-return leaks, deferred
+// closes, cross-function closers, goroutine hand-offs, and deliberate
+// openers that export the close obligation to their callers.
+package obspairtest
+
+// Reader mimics the channel session's span surface.
+type Reader struct{ phase int }
+
+// StartPhase opens a span for phase p (closing any open one implicitly).
+func (r *Reader) StartPhase(p int) { r.phase = p }
+
+// EndPhase closes the open span.
+func (r *Reader) EndPhase() { r.phase = 0 }
+
+// balanced opens and closes on its single path: silent, and entering it
+// with a span open also ends closed.
+func balanced(r *Reader) { // wantfact `closes the caller's open phase span`
+	r.StartPhase(1)
+	r.EndPhase()
+}
+
+// leakyReturn forgets the close on the early path only.
+func leakyReturn(r *Reader, bail bool) {
+	r.StartPhase(1)
+	if bail {
+		return // want `return with the phase span opened at line \d+ still open`
+	}
+	r.EndPhase()
+}
+
+// deferred closes via defer, covering every path at once.
+func deferred(r *Reader, bail bool) { // wantfact `closes the caller's open phase span`
+	r.StartPhase(2)
+	defer r.EndPhase()
+	if bail {
+		return
+	}
+}
+
+// closer ends the span for its caller: the endsPhaseFact carrier.
+func closer(r *Reader) { // wantfact `closes the caller's open phase span`
+	r.EndPhase()
+}
+
+// crossPair starts here and ends in the callee: silent.
+func crossPair(r *Reader) { // wantfact `closes the caller's open phase span`
+	r.StartPhase(3)
+	closer(r)
+}
+
+// handOff transfers the close obligation to a goroutine that
+// demonstrably closes.
+func handOff(r *Reader) { // wantfact `closes the caller's open phase span`
+	r.StartPhase(4)
+	go closer(r)
+}
+
+// handOffLit hands off to a goroutine literal that closes.
+func handOffLit(r *Reader) { // wantfact `closes the caller's open phase span`
+	r.StartPhase(5)
+	go func() { r.EndPhase() }()
+}
+
+// opener uniformly leaves the span open: a deliberate opener carries a
+// reasoned allow, and the exported fact keeps its callers checked.
+func opener(r *Reader) { // wantfact `leaves a phase span open for its caller`
+	r.StartPhase(6) //lint:allow obspair golden-test fixture: deliberate opener, callers must close
+}
+
+// openerUser closes what opener left open: silent.
+func openerUser(r *Reader) { // wantfact `closes the caller's open phase span`
+	opener(r)
+	r.EndPhase()
+}
+
+// openerLeak inherits the obligation from opener and drops it.
+func openerLeak(r *Reader) { // wantfact `leaves a phase span open for its caller`
+	opener(r) // want `phase span opened here never reaches EndPhase`
+}
+
+// forgot never closes at all.
+func forgot(r *Reader) { // wantfact `leaves a phase span open for its caller`
+	r.StartPhase(7) // want `phase span opened here never reaches EndPhase`
+}
+
+// switchPaths must close in every case; the default clause makes the
+// case exits exhaustive.
+func switchPaths(r *Reader, k int) { // wantfact `closes the caller's open phase span`
+	r.StartPhase(8)
+	switch k {
+	case 0:
+		r.EndPhase()
+	default:
+		r.EndPhase()
+	}
+}

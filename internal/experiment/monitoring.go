@@ -31,7 +31,7 @@ func Monitoring(o Options) *Table {
 	t := NewTable("Extension — monitoring a drifting deployment (warm-started BFCE + differential snapshots)",
 		"round", "true n", "monitor n̂", "acc", "slots",
 		"true dep", "est dep", "true arr", "est arr")
-	tl, err := workload.Drift(12, 150000, 0.06, 0.06, 0xd1)
+	tl, err := workload.Drift(12, 150000, 0.06, 0.06, xrand.Combine(o.Seed, 0xd1))
 	if err != nil {
 		panic(err) // unreachable: parameters are static and valid
 	}

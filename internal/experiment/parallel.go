@@ -14,6 +14,6 @@ import (
 // bit-identical to a sequential loop regardless of scheduling —
 // parallelism changes wall-clock time, never results.
 func parallelMap[T any](workers, n int, fn func(i int) T) []T {
-	out, _ := fleet.Map(context.Background(), workers, n, fn) //lint:allow ctxbg experiments are uncancellable by design: a partial sweep is not a result
+	out, _ := fleet.Map(context.Background(), workers, n, fn) //lint:allow ctxbg,errdrop experiments are uncancellable by design (ctx is Background, so Map's only error source cannot fire) and a partial sweep is not a result
 	return out
 }
