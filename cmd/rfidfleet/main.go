@@ -14,6 +14,7 @@
 //	rfidfleet -faults 0.5 -retry 2                 # lossy channels + retries
 //	rfidfleet -retry 2 -retry-backoff 0.25         # exponential air-time backoff
 //	rfidfleet -trial-timeout 1s                    # per-trial deadline
+//	rfidfleet -interleave                          # breadth-first round scheduler
 //	rfidfleet -timeout 10s                         # cancel long batches
 //	rfidfleet -metrics text                        # observability snapshot
 //	rfidfleet -cpuprofile fleet.pprof              # profile the run
@@ -56,6 +57,7 @@ func run() int {
 		retry        = flag.Int("retry", 0, "re-run a failed or saturated trial up to this many times before degrading the job")
 		retryBackoff = flag.Float64("retry-backoff", 0, "simulated air-time backoff in seconds before retry k (doubles each attempt)")
 		trialTimeout = flag.Duration("trial-timeout", 0, "per-trial deadline; a timed-out attempt is retried like any other failure (0 = no limit)")
+		interleave   = flag.Bool("interleave", false, "run the batch on the deterministic round scheduler (breadth-first across jobs; incompatible with -trial-timeout)")
 		timeout      = flag.Duration("timeout", 0, "cancel the batch after this long (0 = no limit)")
 		verbose      = flag.Bool("v", false, "also print one line per job")
 		metrics      = flag.String("metrics", "", `dump an observability snapshot on exit: "text" or "json"`)
@@ -73,6 +75,10 @@ func run() int {
 	}
 	if *retry < 0 || !(*retryBackoff >= 0) || *trialTimeout < 0 {
 		fmt.Fprintln(os.Stderr, "rfidfleet: need retry >= 0, retry-backoff >= 0, trial-timeout >= 0")
+		return 2
+	}
+	if *interleave && *trialTimeout > 0 {
+		fmt.Fprintln(os.Stderr, "rfidfleet: -interleave and -trial-timeout are mutually exclusive; use -timeout to bound an interleaved batch")
 		return 2
 	}
 	if *metrics != "" && *metrics != "text" && *metrics != "json" {
@@ -138,10 +144,17 @@ func run() int {
 		defer cancel()
 	}
 
-	fmt.Printf("fleet: %d systems x %d estimators x %d trials = %d estimations (workers=%d seed=%d)\n",
-		*systems, len(names), *trials, *systems*len(names)**trials, *workers, *seed)
+	mode := fmt.Sprintf("workers=%d", *workers)
+	if *interleave {
+		mode = "interleaved"
+	}
+	fmt.Printf("fleet: %d systems x %d estimators x %d trials = %d estimations (%s seed=%d)\n",
+		*systems, len(names), *trials, *systems*len(names)**trials, mode, *seed)
 
-	rep, err := fleet.Run(ctx, fleet.Config{Workers: *workers, Seed: *seed, Observer: observer, TrialTimeout: *trialTimeout}, jobs)
+	rep, err := fleet.Run(ctx, fleet.Config{
+		Workers: *workers, Seed: *seed, Observer: observer,
+		TrialTimeout: *trialTimeout, Interleave: *interleave,
+	}, jobs)
 	if err != nil && rep == nil {
 		fmt.Fprintf(os.Stderr, "rfidfleet: %v\n", err)
 		return 1
@@ -179,6 +192,10 @@ func run() int {
 		rep.Trials, rep.Failed, rep.Skipped, rep.Degraded, rep.Retries, rep.MeanAbsErr, rep.P50AbsErr, rep.P90AbsErr, rep.P99AbsErr, rep.MaxAbsErr)
 	fmt.Printf("time:   simulated air %.2fs, wall %.2fs, throughput %.1f estimations/s\n",
 		rep.AirSeconds, rep.WallSeconds, rep.Throughput)
+	if *interleave && rep.Trials > 0 {
+		fmt.Printf("sched:  %d protocol rounds interleaved across %d sessions (%.1f rounds/session)\n",
+			rep.SchedRounds, rep.Trials, float64(rep.SchedRounds)/float64(rep.Trials))
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rfidfleet: batch cancelled: %v\n", err)
 		return 1

@@ -29,11 +29,33 @@
 //		rfidest.WithSalt(7),              // deterministic session addressing
 //		rfidest.WithObserver(metrics))    // passive instrumentation
 //
-// The context gates the start of a run only — an in-flight session is a
-// sub-second simulation and always completes, keeping salted replays
-// bit-identical. EstimateBFCE, EstimateWith and EstimateWithSalt remain
-// as thin deprecated wrappers over Run; RunBFCEDetail is Run with BFCE's
-// internal diagnostics.
+// The context is checked before every protocol round — the round in
+// flight always completes, so a cancelled run leaves its session at a
+// round boundary and salted replays stay bit-identical. EstimateBFCE,
+// EstimateWith and EstimateWithSalt remain as thin deprecated wrappers
+// over Run; RunBFCEDetail is Run with BFCE's internal diagnostics.
+//
+// # Round-structured execution
+//
+// Run is exactly a StartRun/Step loop, and both halves are public: every
+// protocol executes as a resumable round state machine, and a session can
+// be driven one protocol round at a time:
+//
+//	rs, err := sys.StartRun(rfidest.WithSalt(7)) // same options as Run
+//	for {
+//		done, err := rs.Step(ctx) // one broadcast + one frame
+//		if done || err != nil { break }
+//	}
+//	est, err := rs.Result() // == sys.Run(ctx, rfidest.WithSalt(7))
+//
+// RunSession.Step satisfies the internal/sched Runner interface, whose
+// Interleave scheduler advances many sessions breadth-first under one
+// deterministic, seeded, single-goroutine loop — each interleaved
+// session's estimate is bit-identical to its solo run. The fleet runner
+// (Config.Interleave, cmd/rfidfleet -interleave) runs whole batches that
+// way. Monitor.Run is the same context-aware entry point for the
+// warm-start monitoring loop, and Monitor.Snapshot/Restore checkpoint its
+// state across processes. See DESIGN.md §9.
 //
 // # Observability
 //
@@ -44,7 +66,7 @@
 // Observation is passive — estimates are bit-identical with and without
 // it — and the default no-op observer costs nothing. The rfidfleet and
 // experiments CLIs expose the registry via -metrics text|json; see
-// examples/observability and DESIGN.md §10.
+// examples/observability and DESIGN.md §11.
 //
 // # Faults, retries and degraded results
 //
@@ -68,7 +90,7 @@
 // the same policy to batches: jobs with retries degrade to partial
 // results (JobResult.Degraded) instead of failing, with exponential
 // backoff charged in simulated air time and optional per-trial context
-// deadlines. See internal/faults and DESIGN.md §11.
+// deadlines. See internal/faults and DESIGN.md §12.
 //
 // # What is simulated
 //

@@ -1,0 +1,29 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rfidest/internal/analysis"
+	"rfidest/internal/analysis/analysistest"
+)
+
+func TestRoundLoopGolden(t *testing.T) {
+	analysistest.Run(t, analysis.RoundLoop, "testdata/roundloop")
+}
+
+func TestRoundLoopScope(t *testing.T) {
+	for rel, covered := range map[string]bool{
+		".":                   true,
+		"internal/core":       true,
+		"internal/estimators": true,
+		"internal/fleet":      true,
+		"internal/experiment": true,
+		"cmd/rfidfleet":       true,
+		"internal/channel":    false, // owns StepRound/Drive, the one sanctioned loop
+		"internal/sched":      false, // steps whole sessions over the driver
+	} {
+		if got := analysis.RoundLoop.AppliesTo(rel); got != covered {
+			t.Errorf("roundloop covers %q = %v, want %v", rel, got, covered)
+		}
+	}
+}

@@ -91,6 +91,11 @@ func (r *Reader) EndPhase() {
 	r.phase = obs.PhaseRun
 }
 
+// Phase returns the currently open protocol-phase span (PhaseRun when no
+// span is open). The round driver uses it to open a new span only when a
+// round's phase differs from the running one.
+func (r *Reader) Phase() obs.Phase { return r.phase }
+
 // NextSeed draws the next random seed the reader will broadcast.
 func (r *Reader) NextSeed() uint64 { return r.seeds.Uint64() }
 

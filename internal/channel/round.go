@@ -1,0 +1,156 @@
+package channel
+
+import (
+	"context"
+	"errors"
+
+	"rfidest/internal/obs"
+)
+
+// This file defines the round-structured execution model: the unit of
+// protocol progress is one round — a reader broadcast followed by one
+// frame execution — and an estimation protocol is a Stepper, a resumable
+// state machine that plans the next round and absorbs its observation.
+//
+// The split exists so exactly one loop drives every protocol. StepRound is
+// that loop's body: phase transitions, parameter broadcasts, seed draws
+// and frame executions all happen here, in a fixed order, so per-round
+// context cancellation, observability spans and scheduler interleaving
+// compose with every protocol instead of being re-implemented inside each
+// one. Protocol code never calls the session verbs directly anymore; it
+// describes rounds (RoundSpec) and folds observations (Absorb). The
+// roundloop analyzer (internal/analysis) enforces that Plan/Absorb are
+// only driven from here and from the interleaving scheduler.
+
+// RoundSpec describes the next protocol round a Stepper wants executed.
+// The zero value is a bare frame in the unnamed PhaseRun span with a
+// fresh driver-drawn seed and no parameter broadcast.
+type RoundSpec struct {
+	// Phase attributes the round's traffic to a protocol phase span.
+	// Consecutive rounds with the same Phase share one span; a round with
+	// a different Phase closes the open span and starts a new one.
+	// PhaseRun means "outside any named phase" (no span is opened).
+	Phase obs.Phase
+
+	// Report, when non-nil, is invoked on the session observer just
+	// before the round's phase transition — BFCE uses it to emit the
+	// probe-rounds hook between the probe span's end and the rough
+	// span's start, exactly where the monolithic loop emitted it.
+	Report func(o obs.Observer)
+
+	// Broadcast is the number of reader parameter bits transmitted
+	// before the frame (0 = no broadcast this round).
+	Broadcast int
+
+	// Frame is the frame geometry to execute. Frame.Seed is ignored
+	// unless ReuseSeed is set: by default the driver draws a fresh seed
+	// from the session stream and reports it back through RoundObs.Seed.
+	Frame FrameRequest
+
+	// ReuseSeed makes the driver execute Frame with Frame.Seed as given
+	// instead of drawing a fresh one. Steppers that pin several rounds to
+	// one seed (BFCE's probe) echo the seed they received in a previous
+	// RoundObs — keeping the held seed inside the stepper, where
+	// Snapshot/Restore can carry it.
+	ReuseSeed bool
+
+	// Legacy marks a round that is not a single frame but an entire
+	// run-to-completion protocol: the driver dispatches to the stepper's
+	// LegacyRunner implementation instead of executing Frame. Used by the
+	// estimators package's legacy adapter for protocols not yet converted
+	// to native stepping.
+	Legacy bool
+}
+
+// RoundObs is the observation of one executed round, handed to Absorb.
+type RoundObs struct {
+	// Frame is the bit vector the reader sensed.
+	Frame BitVec
+	// Seed is the frame seed the driver used — freshly drawn unless the
+	// spec set ReuseSeed. Steppers that need to reuse it echo it back via
+	// RoundSpec.Frame.Seed/ReuseSeed.
+	Seed uint64
+}
+
+// Stepper is a resumable protocol state machine. Plan describes the next
+// round; Absorb folds the round's observation and reports whether the
+// protocol is complete. Plan is never called after Absorb returns done.
+//
+// A Stepper never touches the session directly — it holds no Reader, no
+// clock and no seed stream — so snapshotting its state suffices to resume
+// a run, and a scheduler can interleave many steppers' rounds over their
+// own sessions without any cross-talk.
+type Stepper interface {
+	Plan() RoundSpec
+	Absorb(RoundObs) (done bool, err error)
+}
+
+// LegacyRunner is implemented by steppers whose single round executes an
+// entire run-to-completion protocol over the session (the estimators
+// package's legacy adapter). RunLegacy reports done exactly like Absorb.
+type LegacyRunner interface {
+	RunLegacy(r *Reader) (done bool, err error)
+}
+
+// StepRound executes one round of s over the session r: context check,
+// pending report hook, phase transition, parameter broadcast, seed
+// resolution, frame execution, Absorb. It is the single place protocol
+// rounds happen — Drive, the root run loop and the interleaving scheduler
+// all funnel through it. A nil ctx skips the cancellation check.
+func StepRound(ctx context.Context, r *Reader, s Stepper) (done bool, err error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+	}
+	spec := s.Plan()
+	if spec.Report != nil {
+		spec.Report(r.Observer())
+	}
+	if spec.Legacy {
+		lr, ok := s.(LegacyRunner)
+		if !ok {
+			return false, errors.New("channel: legacy round from a stepper without RunLegacy")
+		}
+		return lr.RunLegacy(r)
+	}
+	if spec.Phase != r.Phase() {
+		if spec.Phase == obs.PhaseRun {
+			r.EndPhase()
+		} else {
+			r.StartPhase(spec.Phase)
+		}
+	}
+	if spec.Broadcast > 0 {
+		r.BroadcastParams(spec.Broadcast)
+	}
+	req := spec.Frame
+	if !spec.ReuseSeed {
+		req.Seed = r.NextSeed()
+	}
+	vec := r.ExecuteFrame(req)
+	return s.Absorb(RoundObs{Frame: vec, Seed: req.Seed}) //lint:allow obspair the span deliberately outlives the round; Drive closes it on every exit
+}
+
+// Drive runs s over r to completion, one StepRound at a time, closing any
+// open phase span on the way out (normal completion, protocol error or
+// context cancellation alike, so observability accounting stays balanced).
+// A nil ctx disables cancellation checks; otherwise the context is checked
+// before every round — the round in flight always completes, so a
+// cancelled run leaves the session's seed stream at a round boundary.
+func Drive(ctx context.Context, r *Reader, s Stepper) error {
+	if r == nil {
+		return errors.New("channel: nil session")
+	}
+	for {
+		done, err := StepRound(ctx, r, s)
+		if err != nil {
+			r.EndPhase()
+			return err
+		}
+		if done {
+			r.EndPhase()
+			return nil
+		}
+	}
+}

@@ -1,11 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"rfidest/internal/channel"
-	"rfidest/internal/obs"
 	"rfidest/internal/stats"
 	"rfidest/internal/timing"
 )
@@ -157,110 +157,41 @@ func (e *Estimator) Config() Config { return e.cfg }
 // Name implements the estimator registry convention.
 func (e *Estimator) Name() string { return "BFCE" }
 
-// paramBits is the reader broadcast for one phase: k 32-bit seeds plus the
-// 32-bit persistence numerator. w and k are constants preloaded on tags and
-// are not transmitted at runtime (§IV-E.1).
-func (e *Estimator) paramBits() int {
-	return e.cfg.K*timing.SeedBits + timing.PnBits
-}
-
 // Estimate runs the full two-phase protocol of §IV over the session r and
 // returns the estimation result. The error is non-nil only for channel
 // misuse (nil session); degenerate observations are reported through
 // Result.Saturated/Feasible rather than failing the run, matching the
 // protocol's behaviour of always producing an estimate.
+//
+// Estimate is EstimateContext without cancellation: the protocol logic
+// lives in the Stepper round state machine (stepper.go) and the shared
+// round driver executes it.
 func (e *Estimator) Estimate(r *channel.Reader) (Result, error) {
+	return e.EstimateContext(nil, r)
+}
+
+// EstimateContext is Estimate with per-round cancellation: ctx is checked
+// before every protocol round, and a cancelled run returns ctx's error
+// with any open phase span closed. The round in flight always completes,
+// so cancellation leaves the session's seed stream at a round boundary. A
+// nil ctx disables the checks.
+func (e *Estimator) EstimateContext(ctx context.Context, r *channel.Reader) (Result, error) {
+	return driveStepper(ctx, r, e.Stepper())
+}
+
+// driveStepper runs a BFCE round machine over the session via the shared
+// driver and stamps the cost counters the machine itself cannot see. It is
+// the one execution path under Estimate, EstimateContext, EstimateRetry
+// and the Monitor's rounds.
+func driveStepper(ctx context.Context, r *channel.Reader, st *Stepper) (Result, error) {
 	if r == nil {
 		return Result{}, errors.New("core: nil session")
 	}
-	cfg := e.cfg
-	var res Result
 	startCost := r.Cost()
-
-	// ---- Probe: find a valid persistence numerator p_s (§IV-C). -------
-	// The reader broadcasts the k seeds once, then re-broadcasts only the
-	// adjusted numerator each round; all probe rounds reuse the same frame
-	// seed, so raising pn monotonically adds responders.
-	r.StartPhase(obs.PhaseProbe)
-	probeSeed := r.NextSeed()
-	r.BroadcastParams(e.paramBits())
-	pn := cfg.InitialPn
-	for round := 0; ; round++ {
-		vec := r.ExecuteFrame(channel.FrameRequest{
-			W:       cfg.W,
-			K:       cfg.K,
-			P:       float64(pn) / float64(cfg.PDenom),
-			Observe: cfg.ProbeWindow,
-			Seed:    probeSeed,
-		})
-		busy := vec.CountBusy()
-		if busy > 0 && busy < cfg.ProbeWindow {
-			break // both idle and busy slots appeared: p_s is valid
-		}
-		if round+1 >= cfg.MaxProbeRounds {
-			break // give up; the rough phase clamps if still degenerate
-		}
-		if busy == 0 {
-			if pn >= cfg.PDenom-1 {
-				break // even the largest p draws no response
-			}
-			pn += 2
-			if pn > cfg.PDenom-1 {
-				pn = cfg.PDenom - 1
-			}
-		} else { // all busy
-			if pn <= 1 {
-				break // even the smallest p saturates the window
-			}
-			pn--
-		}
-		res.ProbeRounds++
-		r.BroadcastParams(timing.PnBits)
+	if err := channel.Drive(ctx, r, st); err != nil {
+		return Result{}, err
 	}
-	res.PsNum = pn
-	r.Observer().ProbeRounds(res.ProbeRounds)
-	r.EndPhase()
-
-	// ---- Rough phase: n̂_r and the lower bound n̂_low (§IV-C). ---------
-	r.StartPhase(obs.PhaseRough)
-	r.BroadcastParams(e.paramBits())
-	rough := r.ExecuteFrame(channel.FrameRequest{
-		W:       cfg.W,
-		K:       cfg.K,
-		P:       float64(pn) / float64(cfg.PDenom),
-		Observe: cfg.RoughSlots,
-		Seed:    r.NextSeed(),
-	})
-	res.RhoRough, res.Saturated = clampRho(rough.RhoIdle(), cfg.RoughSlots)
-	res.Rough = EstimateFromRho(res.RhoRough, cfg.K, float64(pn)/float64(cfg.PDenom), cfg.W)
-	res.LowerBound = cfg.C * res.Rough
-	if res.LowerBound < 1 {
-		res.LowerBound = 1
-	}
-	r.EndPhase()
-
-	// ---- Accurate phase: optimal p_o, full frame, final n̂ (§IV-D). ----
-	r.StartPhase(obs.PhaseAccurate)
-	po, feasible := OptimalPn(res.LowerBound, cfg.K, cfg.W, cfg.PDenom, cfg.Epsilon, cfg.Delta)
-	if !feasible {
-		po = FallbackPn(res.LowerBound, cfg.K, cfg.W, cfg.PDenom)
-	}
-	res.Feasible = feasible
-	res.PoNum = po
-
-	r.BroadcastParams(e.paramBits())
-	final := r.ExecuteFrame(channel.FrameRequest{
-		W:    cfg.W,
-		K:    cfg.K,
-		P:    float64(po) / float64(cfg.PDenom),
-		Seed: r.NextSeed(),
-	})
-	rho, saturated := clampRho(final.RhoIdle(), cfg.W)
-	res.RhoFinal = rho
-	res.Saturated = res.Saturated || saturated
-	res.Estimate = EstimateFromRho(rho, cfg.K, float64(po)/float64(cfg.PDenom), cfg.W)
-	r.EndPhase()
-
+	res := st.Result()
 	res.Cost = r.Cost().Sub(startCost)
 	res.Seconds = res.Cost.Seconds(r.Profile)
 	return res, nil

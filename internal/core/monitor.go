@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 
 	"rfidest/internal/channel"
 )
@@ -23,21 +25,58 @@ import (
 // the true cardinality — the same condition as single-shot BFCE, with the
 // previous round's (1−ε)-scaled estimate playing the role of c·n̂_r.
 //
-// A Monitor is intentionally not safe for concurrent use: lastPn, lastN
-// and rounds are carried between rounds because round i+1's inputs are
-// round i's outputs. The contract is one goroutine per Monitor; shard a
-// deployment across several Monitors if rounds must overlap.
+// A Monitor is intentionally not safe for concurrent use: the Snap carried
+// between rounds exists because round i+1's inputs are round i's outputs.
+// The contract is one goroutine per Monitor; shard a deployment across
+// several Monitors if rounds must overlap.
 type Monitor struct {
-	est    *Estimator
-	lastPn int     // last valid probe numerator (0 = cold)
-	lastN  float64 // last round's final estimate (0 = cold)
-	rounds int
+	est  *Estimator
+	snap Snap
 
 	// FastRounds is how many consecutive rounds may skip the rough phase
 	// and derive the lower bound from the previous estimate before a full
 	// rough phase is forced again (guards against slow compounding drift).
 	// Zero disables skipping: every round runs the full protocol.
 	FastRounds int
+}
+
+// Snap is the warm-start state one monitoring round hands the next: the
+// whole of what a Monitor carries. Snapshot/Restore move it across
+// Monitors (or processes), so a monitoring loop can be checkpointed and
+// resumed without losing its warm state.
+type Snap struct {
+	// Pn is the last valid probe persistence numerator (0 = cold: the
+	// next round probes from the configured InitialPn).
+	Pn int
+	// N is the last round's accepted estimate (0 = cold: the next round
+	// cannot run fast and executes the full protocol).
+	N float64
+	// Rounds is how many rounds completed; it drives the FastRounds
+	// cadence (round r is full when r ≡ 0 mod FastRounds+1).
+	Rounds int
+}
+
+// absorb folds a completed round's result into the snapshot. The
+// saturated-round guard is part of the snapshot contract, not of any
+// particular execution loop: a saturated round produced a clamped
+// estimate (the observation was all-idle or all-busy), which is an
+// upper/lower resolution bound, not a measurement. Warm-starting the next
+// round from it would feed a fabricated lower bound into the optimal-p
+// search — after a population crash, every subsequent fast round would
+// keep probing at the stale rate and keep saturating. So a saturated
+// round clears the warm fields and the next round runs fully cold.
+func (s Snap) absorb(res Result) Snap {
+	s.Rounds++
+	if res.Saturated {
+		s.Pn = 0
+		s.N = 0
+		return s
+	}
+	if res.PsNum > 0 {
+		s.Pn = res.PsNum
+	}
+	s.N = res.Estimate
+	return s
 }
 
 // NewMonitor returns a Monitor running the given estimator configuration.
@@ -50,83 +89,59 @@ func NewMonitor(cfg Config) (*Monitor, error) {
 }
 
 // Rounds returns how many estimation rounds the monitor has completed.
-func (m *Monitor) Rounds() int { return m.rounds }
+func (m *Monitor) Rounds() int { return m.snap.Rounds }
+
+// Snapshot returns the monitor's warm-start state.
+func (m *Monitor) Snapshot() Snap { return m.snap }
+
+// Restore overwrites the monitor's warm-start state with a snapshot —
+// typically one taken from another Monitor (or an earlier process) over
+// the same deployment.
+func (m *Monitor) Restore(s Snap) error {
+	if s.Pn < 0 || s.Pn >= m.est.cfg.PDenom {
+		return fmt.Errorf("core: snapshot Pn %d outside [0, %d)", s.Pn, m.est.cfg.PDenom)
+	}
+	if !(s.N >= 0) { // positively phrased so NaN is rejected
+		return fmt.Errorf("core: snapshot N %v must be >= 0", s.N)
+	}
+	if s.Rounds < 0 {
+		return fmt.Errorf("core: negative snapshot round count %d", s.Rounds)
+	}
+	m.snap = s
+	return nil
+}
+
+// stepper builds the round state machine for the next monitoring round
+// from the current snapshot: warm probe start when Pn is set, and a fast
+// accurate-only round when the FastRounds cadence and a warm estimate
+// allow.
+func (m *Monitor) stepper() *Stepper {
+	cfg := m.est.cfg
+	if m.snap.Pn > 0 {
+		cfg.InitialPn = m.snap.Pn
+	}
+	if m.FastRounds > 0 && m.snap.N > 0 && m.snap.Rounds%(m.FastRounds+1) != 0 {
+		return newFastStepper(cfg, m.snap.Pn, m.snap.N)
+	}
+	return (&Estimator{cfg: cfg}).Stepper()
+}
 
 // Estimate runs the next monitoring round over the session.
 func (m *Monitor) Estimate(r *channel.Reader) (Result, error) {
+	return m.EstimateContext(nil, r)
+}
+
+// EstimateContext is Estimate with per-round cancellation (see
+// Estimator.EstimateContext). A cancelled round does not advance the
+// monitor's warm-start state.
+func (m *Monitor) EstimateContext(ctx context.Context, r *channel.Reader) (Result, error) {
 	if r == nil {
 		return Result{}, errors.New("core: nil session")
 	}
-	cfg := m.est.cfg
-	if m.lastPn > 0 {
-		cfg.InitialPn = m.lastPn
-	}
-
-	fast := m.FastRounds > 0 && m.lastN > 0 && m.rounds%(m.FastRounds+1) != 0
-	var res Result
-	var err error
-	if fast {
-		res, err = m.fastRound(r, cfg)
-	} else {
-		est := &Estimator{cfg: cfg}
-		res, err = est.Estimate(r)
-	}
+	res, err := driveStepper(ctx, r, m.stepper())
 	if err != nil {
 		return res, err
 	}
-	m.rounds++
-	if res.Saturated {
-		// A saturated round produced a clamped estimate (the observation was
-		// all-idle or all-busy), which is an upper/lower resolution bound,
-		// not a measurement. Warm-starting the next round from it would feed
-		// a fabricated lower bound into the optimal-p search — after a
-		// population crash, every subsequent fast round would keep probing
-		// at the stale rate and keep saturating. Drop the warm-start state
-		// so the next round runs the full cold protocol.
-		m.lastPn = 0
-		m.lastN = 0
-		return res, nil
-	}
-	if res.PsNum > 0 {
-		m.lastPn = res.PsNum
-	}
-	m.lastN = res.Estimate
-	return res, nil
-}
-
-// fastRound runs only the accurate phase, deriving the lower bound from
-// the previous round's estimate discounted by the confidence interval
-// (and by c, to tolerate inter-round growth the same way a fresh rough
-// estimate would).
-func (m *Monitor) fastRound(r *channel.Reader, cfg Config) (Result, error) {
-	var res Result
-	startCost := r.Cost()
-	res.PsNum = m.lastPn
-	res.Rough = m.lastN
-	res.LowerBound = cfg.C * (1 - cfg.Epsilon) * m.lastN
-	if res.LowerBound < 1 {
-		res.LowerBound = 1
-	}
-
-	po, feasible := OptimalPn(res.LowerBound, cfg.K, cfg.W, cfg.PDenom, cfg.Epsilon, cfg.Delta)
-	if !feasible {
-		po = FallbackPn(res.LowerBound, cfg.K, cfg.W, cfg.PDenom)
-	}
-	res.Feasible = feasible
-	res.PoNum = po
-
-	r.BroadcastParams(cfg.K*32 + 32)
-	final := r.ExecuteFrame(channel.FrameRequest{
-		W:    cfg.W,
-		K:    cfg.K,
-		P:    float64(po) / float64(cfg.PDenom),
-		Seed: r.NextSeed(),
-	})
-	rho, saturated := clampRho(final.RhoIdle(), cfg.W)
-	res.RhoFinal = rho
-	res.Saturated = saturated
-	res.Estimate = EstimateFromRho(rho, cfg.K, float64(po)/float64(cfg.PDenom), cfg.W)
-	res.Cost = r.Cost().Sub(startCost)
-	res.Seconds = res.Cost.Seconds(r.Profile)
+	m.snap = m.snap.absorb(res)
 	return res, nil
 }

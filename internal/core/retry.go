@@ -1,6 +1,10 @@
 package core
 
-import "rfidest/internal/channel"
+import (
+	"context"
+
+	"rfidest/internal/channel"
+)
 
 // RetryPolicy bounds the re-execution of degenerate BFCE rounds. The zero
 // policy never retries, so EstimateRetry with it is exactly Estimate.
@@ -17,7 +21,9 @@ type RetryPolicy struct {
 // EstimateRetry runs Estimate and re-runs it while the result is saturated
 // (a phase observed a degenerate all-idle/all-busy vector) or infeasible
 // (Theorem 3 had no valid p_o at the rough lower bound), within the
-// policy's attempt and air-time budget.
+// policy's attempt and air-time budget. Every attempt is a fresh Stepper
+// driven by the shared round loop, so ctx cancels between rounds — mid-
+// protocol, not just between attempts. A nil ctx disables cancellation.
 //
 // Each re-run continues the session's seed stream, so its frames carry
 // fresh seeds — the "fresh salts" a real reader would broadcast after a
@@ -25,8 +31,8 @@ type RetryPolicy struct {
 // returned Result carries the last attempt's estimate and diagnostics with
 // the cost counters, air time and probe rounds summed over every attempt,
 // and Retries counting the re-runs.
-func (e *Estimator) EstimateRetry(r *channel.Reader, pol RetryPolicy) (Result, error) {
-	total, err := e.Estimate(r)
+func (e *Estimator) EstimateRetry(ctx context.Context, r *channel.Reader, pol RetryPolicy) (Result, error) {
+	total, err := e.EstimateContext(ctx, r)
 	if err != nil {
 		return total, err
 	}
@@ -34,7 +40,7 @@ func (e *Estimator) EstimateRetry(r *channel.Reader, pol RetryPolicy) (Result, e
 		if pol.BudgetSeconds > 0 && total.Seconds >= pol.BudgetSeconds {
 			break
 		}
-		res, err := e.Estimate(r)
+		res, err := e.EstimateContext(ctx, r)
 		if err != nil {
 			return total, err
 		}

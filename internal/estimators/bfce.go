@@ -21,29 +21,12 @@ func NewBFCE() *BFCE { return &BFCE{} }
 // Name implements Estimator.
 func (b *BFCE) Name() string { return "BFCE" }
 
-// Estimate implements Estimator.
+// Estimate implements Estimator: it builds the round state machine
+// (Stepper) and hands it to the shared driver.
 func (b *BFCE) Estimate(r *channel.Reader, acc Accuracy) (Result, error) {
-	acc.Validate()
-	cfg := b.Config
-	cfg.Epsilon = acc.Epsilon
-	cfg.Delta = acc.Delta
-	est, err := core.New(cfg)
+	st, err := b.Stepper(acc)
 	if err != nil {
 		return Result{}, err
 	}
-	start := r.Cost()
-	res, err := est.Estimate(r)
-	if err != nil {
-		return Result{}, err
-	}
-	cost := r.Cost().Sub(start)
-	return Result{
-		Estimate:  res.Estimate,
-		Rounds:    1,
-		Slots:     cost.TagSlots,
-		Cost:      cost,
-		Seconds:   cost.Seconds(r.Profile),
-		Guarded:   res.Feasible,
-		Saturated: res.Saturated,
-	}, nil
+	return Run(nil, r, st)
 }

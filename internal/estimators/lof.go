@@ -2,10 +2,8 @@ package estimators
 
 import (
 	"errors"
-	"math"
 
 	"rfidest/internal/channel"
-	"rfidest/internal/timing"
 )
 
 // LOF is the Lottery Frame estimator of Qian et al. [19]: every tag hashes
@@ -35,49 +33,15 @@ func NewLOF() *LOF { return &LOF{FrameSize: 32, Rounds: 10} }
 // Name implements Estimator.
 func (l *LOF) Name() string { return "LOF" }
 
-// Estimate implements Estimator.
+// Estimate implements Estimator: it builds the round state machine
+// (Stepper) and hands it to the shared driver.
 func (l *LOF) Estimate(r *channel.Reader, acc Accuracy) (Result, error) {
 	if r == nil {
 		return Result{}, errors.New("estimators: nil session")
 	}
-	start := r.Cost()
-	f := l.FrameSize
-	if f <= 0 {
-		f = 32
+	st, err := l.Stepper(acc)
+	if err != nil {
+		return Result{}, err
 	}
-	rounds := l.Rounds
-	if rounds <= 0 {
-		rounds = 10
-	}
-	sumR := 0.0
-	slots := 0
-	responded := false
-	for i := 0; i < rounds; i++ {
-		r.BroadcastParams(timing.SeedBits)
-		vec := r.ExecuteFrame(channel.FrameRequest{
-			W:    f,
-			K:    1,
-			P:    1,
-			Dist: channel.Geometric,
-			Seed: r.NextSeed(),
-		})
-		slots += f
-		// The observation is the number of leading busy slots (the first
-		// idle position); a fully busy frame reports its length.
-		first := vec.FirstIdle()
-		if first > 0 {
-			responded = true
-		}
-		sumR += float64(first)
-	}
-	res := Result{Rounds: rounds, Slots: slots}
-	if !responded {
-		// Every frame had an idle slot 0: no tag answered at all.
-		res.Estimate = 0
-	} else {
-		res.Estimate = math.Exp2(sumR/float64(rounds)) / fmPhi
-	}
-	res.Cost = r.Cost().Sub(start)
-	res.Seconds = res.Cost.Seconds(r.Profile)
-	return res, nil
+	return Run(nil, r, st)
 }

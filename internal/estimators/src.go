@@ -6,7 +6,6 @@ import (
 
 	"rfidest/internal/channel"
 	"rfidest/internal/stats"
-	"rfidest/internal/timing"
 )
 
 // SRC is the Simple RFID Counting protocol of Chen, Zhou and Yu [15]: a
@@ -58,55 +57,15 @@ func SRCRounds(delta float64, maxRounds int) int {
 	return stats.MajorityRounds(0.8, delta, maxRounds)
 }
 
-// Estimate implements Estimator.
+// Estimate implements Estimator: it builds the round state machine
+// (Stepper) and hands it to the shared driver.
 func (s *SRC) Estimate(r *channel.Reader, acc Accuracy) (Result, error) {
 	if r == nil {
 		return Result{}, errors.New("estimators: nil session")
 	}
-	acc.Validate()
-	start := r.Cost()
-
-	rough := s.Rough
-	if rough == nil {
-		rough = &LOF{FrameSize: 32, Rounds: 1}
-	}
-	roughRes, err := rough.Estimate(r, acc)
+	st, err := s.Stepper(acc)
 	if err != nil {
 		return Result{}, err
 	}
-	nRough := roughRes.Estimate
-	if nRough < 1 {
-		nRough = 1
-	}
-
-	l := SRCFrameSize(acc.Epsilon)
-	rounds := SRCRounds(acc.Delta, s.MaxRounds)
-	p := lambdaStarZOE * float64(l) / nRough
-	if p > 1 {
-		p = 1
-	}
-
-	estimates := make([]float64, 0, rounds)
-	slots := roughRes.Slots
-	for i := 0; i < rounds; i++ {
-		r.BroadcastParams(timing.SeedBits + timing.PnBits)
-		vec := r.ExecuteFrame(channel.FrameRequest{
-			W:    l,
-			K:    1,
-			P:    p,
-			Seed: r.NextSeed(),
-		})
-		slots += l
-		rho := clampRho(vec.RhoIdle(), l)
-		estimates = append(estimates, zeroEstimate(rho, p, l))
-	}
-	res := Result{
-		Estimate: stats.Median(estimates),
-		Rounds:   rounds + roughRes.Rounds,
-		Slots:    slots,
-		Guarded:  true,
-	}
-	res.Cost = r.Cost().Sub(start)
-	res.Seconds = res.Cost.Seconds(r.Profile)
-	return res, nil
+	return Run(nil, r, st)
 }

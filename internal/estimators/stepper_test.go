@@ -1,0 +1,205 @@
+package estimators
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"rfidest/internal/channel"
+)
+
+// The snapshot/resume contract: a stepper frozen mid-run and restored into
+// a fresh machine continues the protocol as if nothing happened — same
+// estimate, same accounting — because Snapshot carries the entire mid-run
+// state (held seeds, partial observations, sub-phase progress) and the
+// session's seed stream lives in the Reader, untouched by the freeze.
+
+// stepN drives st for up to n rounds over r, returning how many rounds ran
+// and whether the protocol completed.
+func stepN(t *testing.T, r *channel.Reader, st Stepper, n int) (int, bool) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		done, err := channel.StepRound(nil, r, st)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if done {
+			return i + 1, true
+		}
+	}
+	return n, false
+}
+
+func TestStepperSnapshotResume(t *testing.T) {
+	type tc struct {
+		name string
+		est  Steppable
+		k    int // rounds to run before freezing
+	}
+	cases := []tc{
+		{"BFCE", NewBFCE(), 2},
+		{"LOF", NewLOF(), 4},
+		{"ZOE", NewZOE(), 40},      // past the rough phase, into singleton slots
+		{"SRC", NewSRC(), 3},       // mid rough phase
+		{"ZOE-early", NewZOE(), 2}, // frozen inside the rough sub-stepper
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			const n, seed = 20000, 77
+			acc := Default
+
+			// Straight run for the reference result.
+			want, err := c.est.Estimate(newSession(n, seed), acc)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Interrupted run: k rounds, freeze, thaw into a fresh
+			// machine, finish on the same session.
+			r := newSession(n, seed)
+			start := r.Cost()
+			st, err := c.est.Stepper(acc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ran, done := stepN(t, r, st, c.k)
+			if done {
+				t.Fatalf("protocol finished in %d rounds; pick a smaller k than %d", ran, c.k)
+			}
+			snap := st.Snapshot()
+
+			resumed, err := c.est.Stepper(acc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := resumed.Restore(snap); err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			if _, done := stepN(t, r, resumed, 1<<20); !done {
+				t.Fatal("resumed run never completed")
+			}
+			r.EndPhase()
+			got := resumed.Result(r.Cost().Sub(start), r.Profile)
+			if got != want {
+				t.Errorf("resumed run diverged:\n got  %+v\n want %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestStepperRestoreRejectsForeignSnapshot: a snapshot only thaws into the
+// machine type that produced it.
+func TestStepperRestoreRejectsForeignSnapshot(t *testing.T) {
+	acc := Default
+	bfce, err := NewBFCE().Stepper(acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lof, err := NewLOF().Stepper(acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bfce.Restore(lof.Snapshot()); err == nil {
+		t.Error("BFCE stepper accepted a LOF snapshot")
+	}
+	if err := lof.Restore(bfce.Snapshot()); err == nil {
+		t.Error("LOF stepper accepted a BFCE snapshot")
+	}
+}
+
+// TestAsStepperLegacy: an unconverted estimator rides the legacy adapter —
+// a single driver round that reproduces Estimate exactly.
+func TestAsStepperLegacy(t *testing.T) {
+	for _, name := range []string{"UPE", "EZB", "FNEB", "MLE", "ART", "PET"} {
+		est := New(name)
+		if est == nil {
+			t.Fatalf("estimator %q missing from registry", name)
+		}
+		if _, ok := est.(Steppable); ok {
+			t.Fatalf("%s is Steppable now; move it out of the legacy test", name)
+		}
+		const n, seed = 5000, 31
+		want, err := est.Estimate(newSession(n, seed), Default)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := AsStepper(New(name), Default)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(context.Background(), newSession(n, seed), st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s via legacy adapter:\n got  %+v\n want %+v", name, got, want)
+		}
+		if snap := st.Snapshot(); snap != nil {
+			t.Errorf("%s: legacy snapshot = %v, want nil", name, snap)
+		}
+		if err := st.Restore(nil); err != nil {
+			t.Errorf("%s: Restore(nil) = %v", name, err)
+		}
+		if err := st.Restore(42); err == nil {
+			t.Errorf("%s: legacy adapter accepted a non-nil snapshot", name)
+		}
+	}
+}
+
+// TestAsStepperNative: the natively-converted protocols do NOT take the
+// legacy path — their first planned round is a real frame, not a Legacy
+// dispatch (except ZOE/SRC with a custom unconverted rough estimator,
+// which forward one legacy round for it).
+func TestAsStepperNative(t *testing.T) {
+	for _, name := range []string{"BFCE", "ZOE", "SRC", "LOF"} {
+		st, err := AsStepper(New(name), Default)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec := st.Plan(); spec.Legacy {
+			t.Errorf("%s plans a legacy round; expected native stepping", name)
+		}
+	}
+}
+
+// TestZOECustomRoughViaStepper: a ZOE configured with an unconverted rough
+// estimator still runs under the driver — the outer stepper forwards the
+// rough phase as one legacy round — and matches the monolithic result.
+func TestZOECustomRoughViaStepper(t *testing.T) {
+	mk := func() *ZOE { return &ZOE{Rough: NewUPE()} }
+	const n, seed = 20000, 13
+	want, err := mk().Estimate(newSession(n, seed), Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := mk().Stepper(Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), newSession(n, seed), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("ZOE{Rough: UPE} via stepper:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+func TestAsStepperNil(t *testing.T) {
+	if _, err := AsStepper(nil, Default); err == nil ||
+		!strings.Contains(err.Error(), "nil") {
+		t.Errorf("AsStepper(nil): err = %v", err)
+	}
+}
+
+// TestRunNilSession matches the monolithic nil-session diagnostic.
+func TestRunNilSession(t *testing.T) {
+	st, err := AsStepper(NewLOF(), Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), nil, st); err == nil ||
+		!strings.Contains(err.Error(), "nil session") {
+		t.Errorf("Run(nil reader): err = %v", err)
+	}
+}

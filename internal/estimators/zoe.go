@@ -6,7 +6,6 @@ import (
 
 	"rfidest/internal/channel"
 	"rfidest/internal/stats"
-	"rfidest/internal/timing"
 )
 
 // ZOE is the Zero-One Estimator of Zheng and Li [14], as configured in the
@@ -59,60 +58,15 @@ func ZOESlots(acc Accuracy) int {
 	return int(math.Ceil(root * root))
 }
 
-// Estimate implements Estimator.
+// Estimate implements Estimator: it builds the round state machine
+// (Stepper) and hands it to the shared driver.
 func (z *ZOE) Estimate(r *channel.Reader, acc Accuracy) (Result, error) {
 	if r == nil {
 		return Result{}, errors.New("estimators: nil session")
 	}
-	acc.Validate()
-	start := r.Cost()
-
-	rough := z.Rough
-	if rough == nil {
-		rough = NewLOF()
-	}
-	roughRes, err := rough.Estimate(r, acc)
+	st, err := z.Stepper(acc)
 	if err != nil {
 		return Result{}, err
 	}
-	nRough := roughRes.Estimate
-	if nRough < 1 {
-		nRough = 1
-	}
-
-	p := lambdaStarZOE / nRough
-	if p > 1 {
-		p = 1
-	}
-	m := ZOESlots(acc)
-	if max := z.MaxSlots; max > 0 && m > max {
-		m = max
-	} else if z.MaxSlots == 0 && m > 65536 {
-		m = 65536
-	}
-
-	idle := 0
-	for i := 0; i < m; i++ {
-		// One seed broadcast per slot — ZOE's defining (and costly) trait.
-		r.BroadcastParams(timing.SeedBits)
-		vec := r.ExecuteFrame(channel.FrameRequest{
-			W:    1,
-			K:    1,
-			P:    p,
-			Seed: r.NextSeed(),
-		})
-		if !vec.Get(0) {
-			idle++
-		}
-	}
-	rho := clampRho(float64(idle)/float64(m), m)
-	res := Result{
-		Estimate: -math.Log(rho) / p,
-		Rounds:   1 + roughRes.Rounds,
-		Slots:    m + roughRes.Slots,
-		Guarded:  true,
-	}
-	res.Cost = r.Cost().Sub(start)
-	res.Seconds = res.Cost.Seconds(r.Profile)
-	return res, nil
+	return Run(nil, r, st)
 }

@@ -46,7 +46,7 @@ func Faults(o Options) *Table {
 			if res.Saturated {
 				satPlain++
 			}
-			rres, err := est.EstimateRetry(session(2), core.RetryPolicy{MaxRetries: retries})
+			rres, err := est.EstimateRetry(nil, session(2), core.RetryPolicy{MaxRetries: retries})
 			if err != nil {
 				panic(err) // unreachable: session is non-nil by construction
 			}
@@ -83,7 +83,7 @@ func Faults(o Options) *Table {
 		if res.Saturated {
 			satPlain++
 		}
-		rres, err := est.EstimateRetry(session(2), core.RetryPolicy{MaxRetries: retries})
+		rres, err := est.EstimateRetry(nil, session(2), core.RetryPolicy{MaxRetries: retries})
 		if err != nil {
 			panic(err) // unreachable: session is non-nil by construction
 		}

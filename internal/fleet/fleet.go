@@ -118,6 +118,10 @@ type Report struct {
 	AirSeconds  float64
 	WallSeconds float64
 	Throughput  float64
+
+	// SchedRounds is the number of protocol rounds the interleaving
+	// scheduler executed across the batch (0 in pooled mode).
+	SchedRounds int
 }
 
 // Config tunes a Run.
@@ -133,12 +137,24 @@ type Config struct {
 	// all workers. Results are bit-identical with or without it.
 	Observer obs.Observer
 	// TrialTimeout, when positive, bounds each trial attempt with a real
-	// context deadline derived from Run's context. Estimation runs gate on
-	// the deadline at session start (an in-flight trial still completes,
-	// preserving the determinism contract); a timed-out attempt counts as
-	// a failed attempt and is retried like any other when Job.Retries
-	// allows.
+	// context deadline derived from Run's context. The deadline is checked
+	// at session start and again before every protocol round — the round
+	// in flight always completes, so a timed-out attempt stops at a round
+	// boundary with deterministic per-round results. A timed-out attempt
+	// counts as a failed attempt and is retried like any other when
+	// Job.Retries allows. Incompatible with Interleave, whose scheduler
+	// already cuts the whole batch at round granularity via Run's context.
 	TrialTimeout time.Duration
+	// Interleave selects the scheduler-backed batch mode: instead of a
+	// worker pool running each trial to completion, a single deterministic
+	// round scheduler (internal/sched) advances every job one protocol
+	// round per scheduling epoch — the breadth-first schedule a fleet of
+	// readers sharing one medium would follow. Trials within a job stay
+	// sequential (trial t+1's warm accounting depends on trial t's fold),
+	// so the Report is bit-identical to the pooled mode's: same salts,
+	// same folds, same estimates. Report.SchedRounds counts the rounds the
+	// scheduler executed.
+	Interleave bool
 }
 
 // Run executes the batch over a bounded worker pool. Job errors are
@@ -152,6 +168,9 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Report, error) {
 	}
 	if cfg.TrialTimeout < 0 {
 		return nil, fmt.Errorf("fleet: negative trial timeout %v", cfg.TrialTimeout)
+	}
+	if cfg.Interleave && cfg.TrialTimeout > 0 {
+		return nil, errors.New("fleet: Interleave and TrialTimeout are mutually exclusive; cancel the batch context to bound an interleaved run")
 	}
 	for i, j := range jobs {
 		if j.System == nil {
@@ -170,9 +189,19 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Report, error) {
 	}
 
 	start := time.Now() //lint:allow detrand wall-clock throughput reporting; feeds only WallSeconds/Throughput, never results
-	results, err := Map(ctx, cfg.Workers, len(jobs), func(i int) JobResult {
-		return runJob(ctx, cfg, i, jobs[i])
-	})
+	var (
+		results     []JobResult
+		err         error
+		schedRounds int
+	)
+	if cfg.Interleave {
+		results, schedRounds = runInterleaved(ctx, cfg, jobs)
+		err = ctx.Err()
+	} else {
+		results, err = Map(ctx, cfg.Workers, len(jobs), func(i int) JobResult {
+			return runJob(ctx, cfg, i, jobs[i])
+		})
+	}
 	wall := time.Since(start).Seconds() //lint:allow detrand wall-clock throughput reporting; feeds only WallSeconds/Throughput, never results
 
 	// Unstarted slots (cancellation) come back zero-valued; mark them.
@@ -183,6 +212,7 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Report, error) {
 	}
 	rep := summarize(results)
 	rep.WallSeconds = wall
+	rep.SchedRounds = schedRounds
 	if wall > 0 {
 		rep.Throughput = float64(rep.Trials) / wall
 	}

@@ -1,0 +1,111 @@
+// Package sched interleaves the protocol rounds of several estimation
+// sessions under one deterministic scheduler.
+//
+// The round-structured execution model (channel.Stepper and the shared
+// driver) makes a session resumable at every round boundary; this package
+// is the piece that exploits it: N sessions advance one round at a time,
+// round-robin, so a fleet's air time is spent breadth-first instead of
+// session-by-session — the schedule a multi-reader deployment with one
+// shared medium would actually follow.
+//
+// Determinism is the design constraint, not an afterthought. The scheduler
+// runs on a single goroutine and draws its visit order from a seeded
+// xrand stream, so a given (seed, sessions) pair produces the same
+// interleaving on every machine and at every GOMAXPROCS — and because each
+// session owns its seed stream and observer, an interleaved session's
+// estimate is bit-identical to the same session run alone. Observability
+// accounting stays per-session: every runner carries its own observer
+// wiring (session spans, phase spans, metrics), so interleaving reorders
+// hook timing across sessions but never the hooks within one.
+package sched
+
+import (
+	"context"
+	"errors"
+
+	"rfidest/internal/xrand"
+)
+
+// Runner is one resumable session: Step executes its next protocol round
+// and reports completion. (*rfidest.RunSession).Step satisfies it.
+type Runner interface {
+	Step(ctx context.Context) (done bool, err error)
+}
+
+// Config parameterizes one Interleave call.
+type Config struct {
+	// Seed keys the scheduler's visit-order stream. Equal seeds replay
+	// equal interleavings; zero is a valid (and distinct) seed.
+	Seed uint64
+}
+
+// Result reports one scheduled session's outcome.
+type Result struct {
+	// Rounds is how many protocol rounds the session executed.
+	Rounds int
+	// Err is the session's terminal error; nil means it completed. A
+	// context cancellation lands here for every session still live when
+	// the scheduler stopped.
+	Err error
+}
+
+// Interleave drives every runner to completion, one round per visit, in
+// epochs: each epoch visits the still-live sessions once, in an order
+// drawn from the seeded stream, so no session can starve (per epoch every
+// live session runs exactly one round) while the rotation still exercises
+// every relative order across epochs.
+//
+// ctx, when non-nil, is checked at every round boundary — between any two
+// Step calls, not merely between sessions — so a deadline cuts the whole
+// batch at round granularity; sessions still live are marked with ctx's
+// error. A session's own error stops that session only.
+//
+// Results are indexed like runners. Interleave is single-goroutine and
+// deterministic for a given (Config, runners) pair.
+func Interleave(ctx context.Context, cfg Config, runners []Runner) []Result {
+	res := make([]Result, len(runners))
+	live := make([]int, 0, len(runners))
+	for i, r := range runners {
+		if r == nil {
+			res[i].Err = errors.New("sched: nil runner")
+			continue
+		}
+		live = append(live, i)
+	}
+	rng := xrand.NewStream(cfg.Seed, 0x5c4ed)
+	for len(live) > 0 {
+		rng.Shuffle(len(live), func(a, b int) { live[a], live[b] = live[b], live[a] })
+		keep := live[:0]
+		stopped := false
+		for _, i := range live {
+			if stopped {
+				keep = append(keep, i)
+				continue
+			}
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					res[i].Err = err
+					stopped = true
+					continue
+				}
+			}
+			done, err := runners[i].Step(ctx)
+			if err != nil {
+				res[i].Err = err
+				continue
+			}
+			res[i].Rounds++
+			if !done {
+				keep = append(keep, i)
+			}
+		}
+		live = keep
+		if stopped {
+			for _, i := range live {
+				res[i].Err = ctx.Err()
+			}
+			break
+		}
+	}
+	return res
+}

@@ -1,0 +1,205 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+)
+
+// fakeRunner completes after a fixed number of rounds, optionally failing
+// at one of them, and records every visit into a shared trace.
+type fakeRunner struct {
+	id     int
+	rounds int
+	failAt int // 1-based round to fail at; 0 = never
+	step   int
+	trace  *[]int
+}
+
+func (f *fakeRunner) Step(ctx context.Context) (bool, error) {
+	f.step++
+	if f.trace != nil {
+		*f.trace = append(*f.trace, f.id)
+	}
+	if f.failAt > 0 && f.step == f.failAt {
+		return false, errors.New("boom")
+	}
+	return f.step >= f.rounds, nil
+}
+
+func runners(trace *[]int, rounds ...int) []Runner {
+	rs := make([]Runner, len(rounds))
+	for i, n := range rounds {
+		rs[i] = &fakeRunner{id: i, rounds: n, trace: trace}
+	}
+	return rs
+}
+
+func TestInterleaveCompletesAndCounts(t *testing.T) {
+	var trace []int
+	res := Interleave(context.Background(), Config{Seed: 1}, runners(&trace, 3, 1, 5))
+	want := []int{3, 1, 5}
+	total := 0
+	for i, r := range res {
+		if r.Err != nil {
+			t.Errorf("runner %d: %v", i, r.Err)
+		}
+		if r.Rounds != want[i] {
+			t.Errorf("runner %d: %d rounds, want %d", i, r.Rounds, want[i])
+		}
+		total += r.Rounds
+	}
+	if len(trace) != total {
+		t.Errorf("trace length %d, want %d", len(trace), total)
+	}
+	// No starvation: within any epoch every live session steps exactly
+	// once, so after 3 epochs the short runner has stepped once and the
+	// long one three times — the first three trace entries must be a
+	// permutation of all runners.
+	seen := map[int]int{}
+	for _, id := range trace[:3] {
+		seen[id]++
+	}
+	if len(seen) != 3 {
+		t.Errorf("first epoch visited %v, want each runner once", trace[:3])
+	}
+}
+
+// TestInterleaveDeterministic: the visit order is a pure function of the
+// seed and the runner set — replays are identical, and a different seed
+// produces a different rotation.
+func TestInterleaveDeterministic(t *testing.T) {
+	order := func(seed uint64) []int {
+		var trace []int
+		Interleave(context.Background(), Config{Seed: seed}, runners(&trace, 4, 4, 4, 4, 4, 4, 4, 4))
+		return trace
+	}
+	a, b := order(42), order(42)
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverges at visit %d: %v vs %v", i, a, b)
+		}
+	}
+	c := order(43)
+	same := len(a) == len(c)
+	for i := 0; same && i < len(a); i++ {
+		same = a[i] == c[i]
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced the same visit order")
+	}
+}
+
+// TestInterleaveGOMAXPROCSIndependent: the scheduler is single-goroutine,
+// so the parallelism setting cannot change the visit order.
+func TestInterleaveGOMAXPROCSIndependent(t *testing.T) {
+	order := func() []int {
+		var trace []int
+		Interleave(context.Background(), Config{Seed: 9}, runners(&trace, 6, 2, 4, 8, 3))
+		return trace
+	}
+	prev := runtime.GOMAXPROCS(1)
+	a := order()
+	runtime.GOMAXPROCS(8)
+	b := order()
+	runtime.GOMAXPROCS(prev)
+	if len(a) != len(b) {
+		t.Fatalf("visit counts diverge across GOMAXPROCS: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("visit order diverges at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestInterleaveErrorIsolation: one session's failure stops that session
+// only; the rest run to completion.
+func TestInterleaveErrorIsolation(t *testing.T) {
+	rs := []Runner{
+		&fakeRunner{id: 0, rounds: 4},
+		&fakeRunner{id: 1, rounds: 4, failAt: 2},
+		&fakeRunner{id: 2, rounds: 4},
+	}
+	res := Interleave(context.Background(), Config{Seed: 5}, rs)
+	if res[1].Err == nil || res[1].Err.Error() != "boom" {
+		t.Errorf("failing runner: err = %v", res[1].Err)
+	}
+	if res[1].Rounds != 1 {
+		t.Errorf("failing runner counted %d rounds, want 1 (the failed round does not count)", res[1].Rounds)
+	}
+	for _, i := range []int{0, 2} {
+		if res[i].Err != nil || res[i].Rounds != 4 {
+			t.Errorf("runner %d: rounds=%d err=%v, want 4/nil", i, res[i].Rounds, res[i].Err)
+		}
+	}
+}
+
+// TestInterleaveNilRunner: nil entries are reported, not stepped.
+func TestInterleaveNilRunner(t *testing.T) {
+	res := Interleave(context.Background(), Config{}, []Runner{nil, &fakeRunner{id: 1, rounds: 2}})
+	if res[0].Err == nil || res[0].Rounds != 0 {
+		t.Errorf("nil runner: %+v", res[0])
+	}
+	if res[1].Err != nil || res[1].Rounds != 2 {
+		t.Errorf("live runner: %+v", res[1])
+	}
+}
+
+// TestInterleaveCancellation: a context cancelled mid-schedule marks every
+// still-live session with the context's error at the next round boundary.
+func TestInterleaveCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	stopAfter := 5
+	rs := make([]Runner, 3)
+	for i := range rs {
+		i := i
+		rs[i] = runnerFunc(func(context.Context) (bool, error) {
+			n++
+			if n == stopAfter {
+				cancel()
+			}
+			_ = i
+			return false, nil
+		})
+	}
+	res := Interleave(ctx, Config{Seed: 2}, rs)
+	live := 0
+	for i, r := range res {
+		if errors.Is(r.Err, context.Canceled) {
+			live++
+		} else if r.Err != nil {
+			t.Errorf("runner %d: unexpected error %v", i, r.Err)
+		}
+	}
+	if live != 3 {
+		t.Errorf("%d sessions marked cancelled, want all 3 (none had finished)", live)
+	}
+	if n != stopAfter {
+		t.Errorf("%d rounds ran after cancellation, want exactly %d", n, stopAfter)
+	}
+	// A pre-cancelled context runs nothing at all.
+	res = Interleave(ctx, Config{Seed: 2}, runners(nil, 1, 1))
+	for i, r := range res {
+		if !errors.Is(r.Err, context.Canceled) || r.Rounds != 0 {
+			t.Errorf("pre-cancelled runner %d: %+v", i, r)
+		}
+	}
+}
+
+// runnerFunc adapts a function to Runner for cancellation tests.
+type runnerFunc func(context.Context) (bool, error)
+
+func (f runnerFunc) Step(ctx context.Context) (bool, error) { return f(ctx) }
+
+func TestInterleaveEmpty(t *testing.T) {
+	if res := Interleave(context.Background(), Config{}, nil); len(res) != 0 {
+		t.Errorf("empty schedule returned %d results", len(res))
+	}
+}

@@ -1,11 +1,14 @@
 package rfidest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"rfidest/internal/channel"
 	"rfidest/internal/core"
+	"rfidest/internal/obs"
+	"rfidest/internal/stats"
 )
 
 // Monitor tracks a (possibly drifting) deployment with repeated BFCE
@@ -42,18 +45,71 @@ func NewMonitor(epsilon, delta float64, fastRounds int) (*Monitor, error) {
 	return &Monitor{inner: m}, nil
 }
 
-// Estimate runs the next monitoring round against sys (typically a fresh
-// System per round, reflecting the deployment's current population).
-func (m *Monitor) Estimate(sys *System) (Estimate, error) {
+// Run executes the next monitoring round against sys (typically a fresh
+// System per round, reflecting the deployment's current population),
+// mirroring (*System).Run: the context is checked before every protocol
+// round (a nil ctx disables cancellation), WithSalt addresses the round's
+// session explicitly, and WithObserver attaches session spans, phase spans
+// and metrics. A cancelled round returns ctx's error and does not advance
+// the monitor's warm-start state.
+//
+// The monitor's protocol and accuracy are fixed at NewMonitor, so
+// WithEstimator and WithAccuracy are rejected; so is WithRetry — a
+// saturated monitoring round already self-corrects by clearing the warm
+// state (the next round runs cold), and re-running it inside one round
+// would double-bill the deployment's air time.
+func (m *Monitor) Run(ctx context.Context, sys *System, opts ...Option) (Estimate, error) {
+	o := defaultRunOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	switch {
+	case o.hasEstimator:
+		return Estimate{}, errors.New("rfidest: Monitor runs BFCE only; WithEstimator is not a monitor option")
+	case o.hasAccuracy:
+		return Estimate{}, errors.New("rfidest: a Monitor's accuracy is fixed at NewMonitor; WithAccuracy is not a monitor option")
+	case o.hasRetry:
+		return Estimate{}, errors.New("rfidest: WithRetry is not a monitor option; a saturated round already restarts the next round cold")
+	}
 	if sys == nil {
 		return Estimate{}, errors.New("rfidest: nil system")
 	}
-	session := sys.session()
-	res, err := m.inner.Estimate(session)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Estimate{}, err
+		}
+	}
+	open := sys.session
+	if o.hasSalt {
+		salt := o.salt
+		open = func() *channel.Reader { return sys.sessionAt(salt) }
+	}
+	session := open()
+	instrumented := o.observer != obs.Nop
+	if instrumented {
+		prev := session.Observer()
+		session.SetObserver(obs.Multi(prev, o.observer))
+		defer session.SetObserver(prev)
+		o.observer.SessionOpen("BFCE")
+	}
+	res, err := m.inner.EstimateContext(ctx, session)
+	if instrumented {
+		o.observer.SessionClose(obs.SessionStats{
+			Estimator:        "BFCE",
+			Estimate:         res.Estimate,
+			Rounds:           1,
+			Slots:            res.Cost.TagSlots,
+			ReaderBits:       res.Cost.ReaderBits,
+			Seconds:          res.Seconds,
+			TagTransmissions: session.TagTransmissions(),
+			Guarded:          res.Feasible,
+			Err:              err != nil,
+		})
+	}
 	if err != nil {
 		return Estimate{}, err
 	}
-	return Estimate{
+	out := Estimate{
 		N:                res.Estimate,
 		Seconds:          res.Seconds,
 		Slots:            res.Cost.TagSlots,
@@ -62,11 +118,54 @@ func (m *Monitor) Estimate(sys *System) (Estimate, error) {
 		Guarded:          res.Feasible,
 		TagTransmissions: session.TagTransmissions(),
 		Saturated:        res.Saturated,
-	}, nil
+	}
+	sys.reportFaults(session, o.observer)
+	if instrumented && sys.n > 0 {
+		o.observer.EstimateError(stats.RelError(out.N, float64(sys.n)))
+	}
+	return out, nil
+}
+
+// Estimate runs the next monitoring round against sys.
+//
+// Deprecated: Estimate is Run without cancellation or options; new code
+// calls Run.
+func (m *Monitor) Estimate(sys *System) (Estimate, error) {
+	return m.Run(nil, sys)
 }
 
 // Rounds returns how many rounds the monitor has completed.
 func (m *Monitor) Rounds() int { return m.inner.Rounds() }
+
+// MonitorState is the warm-start state one monitoring round hands the
+// next: the last valid probe numerator, the last accepted estimate and
+// the completed-round count. Snapshot/Restore move it across Monitors (or
+// processes), so a monitoring loop can be checkpointed and resumed with
+// its warm state intact.
+type MonitorState struct {
+	// Pn is the last valid probe persistence numerator (0 = cold).
+	Pn int
+	// N is the last round's accepted estimate (0 = cold). A saturated
+	// round clears it — see the snapshot contract in internal/core.
+	N float64
+	// Rounds is how many rounds completed; it drives the FastRounds
+	// cadence.
+	Rounds int
+}
+
+// Snapshot returns the monitor's warm-start state.
+func (m *Monitor) Snapshot() MonitorState {
+	s := m.inner.Snapshot()
+	return MonitorState{Pn: s.Pn, N: s.N, Rounds: s.Rounds}
+}
+
+// Restore overwrites the monitor's warm-start state with a snapshot —
+// typically one taken from another Monitor (or an earlier process) over
+// the same deployment. The state is validated against the monitor's
+// configuration.
+func (m *Monitor) Restore(s MonitorState) error {
+	return m.inner.Restore(core.Snap{Pn: s.Pn, N: s.N, Rounds: s.Rounds})
+}
 
 // Merge returns a System whose reader hears the union of the given
 // tag-level systems — the paper's multi-reader deployment (§III-A), where

@@ -41,14 +41,17 @@ func NewMetrics() *Metrics { return obs.NewRegistry() }
 type Option func(*runOptions)
 
 type runOptions struct {
-	estimator   string
-	epsilon     float64
-	delta       float64
-	salt        uint64
-	hasSalt     bool
-	observer    obs.Observer
-	retries     int
-	retryBudget float64
+	estimator    string
+	hasEstimator bool
+	epsilon      float64
+	delta        float64
+	hasAccuracy  bool
+	salt         uint64
+	hasSalt      bool
+	observer     obs.Observer
+	retries      int
+	retryBudget  float64
+	hasRetry     bool
 }
 
 func defaultRunOptions() runOptions {
@@ -63,14 +66,14 @@ func defaultRunOptions() runOptions {
 // WithEstimator selects the protocol to run, by registry name (see
 // Estimators). The default is "BFCE", the paper's estimator.
 func WithEstimator(name string) Option {
-	return func(o *runOptions) { o.estimator = name }
+	return func(o *runOptions) { o.estimator, o.hasEstimator = name, true }
 }
 
 // WithAccuracy sets the (ε, δ) requirement: P(|n̂ − n| ≤ ε·n) ≥ 1 − δ.
 // Both parameters must lie in (0, 1). The default is (0.05, 0.05), the
 // paper's evaluation setting.
 func WithAccuracy(epsilon, delta float64) Option {
-	return func(o *runOptions) { o.epsilon, o.delta = epsilon, delta }
+	return func(o *runOptions) { o.epsilon, o.delta, o.hasAccuracy = epsilon, delta, true }
 }
 
 // WithSalt addresses the run's session by an explicit salt instead of the
@@ -106,7 +109,7 @@ func WithObserver(o Observer) Option {
 //
 // Both arguments must be non-negative; budgetSeconds must not be NaN.
 func WithRetry(retries int, budgetSeconds float64) Option {
-	return func(o *runOptions) { o.retries, o.retryBudget = retries, budgetSeconds }
+	return func(o *runOptions) { o.retries, o.retryBudget, o.hasRetry = retries, budgetSeconds, true }
 }
 
 // Run executes one estimation over the system: it opens a fresh session
@@ -114,12 +117,16 @@ func WithRetry(retries int, budgetSeconds float64) Option {
 // protocol to the accuracy requirement, and returns the estimate. With no
 // options it runs BFCE at the paper's (0.05, 0.05) requirement.
 //
-// The context gates the start of the run only: a session in flight is a
-// sub-second simulation and is never interrupted mid-protocol, preserving
-// the session-counter and salt-addressing determinism contracts. A nil ctx
-// is treated as context.Background().
+// The context is checked before the run starts and again before every
+// protocol round; the round in flight always completes, so a cancelled run
+// stops at a round boundary with the session's seed stream intact. The
+// session-counter and salt-addressing determinism contracts are unaffected
+// — an uncancelled run is bit-identical regardless of ctx. A nil ctx is
+// treated as context.Background().
 //
-// Run is safe for concurrent use against one shared System.
+// Run is safe for concurrent use against one shared System. It is exactly
+// a StartRun/Step loop; callers that need to own the round schedule
+// (interleaving, round-granular deadlines) use those directly.
 func (s *System) Run(ctx context.Context, opts ...Option) (Estimate, error) {
 	o := defaultRunOptions()
 	for _, opt := range opts {
@@ -136,65 +143,27 @@ func (s *System) Run(ctx context.Context, opts ...Option) (Estimate, error) {
 		salt := o.salt
 		open = func() *channel.Reader { return s.sessionAt(salt) }
 	}
-	return s.runOn(open, o)
+	return s.runOn(ctx, open, o)
 }
 
-// runOn validates the options, opens a session via open and runs the
-// selected protocol over it. It is the single execution path behind Run
-// and every deprecated Estimate* wrapper; the operation order (estimator
-// lookup, accuracy validation, then session open) is load-bearing — the
-// session counter must not advance for invalid calls.
-func (s *System) runOn(open func() *channel.Reader, o runOptions) (Estimate, error) {
-	est := estimators.New(o.estimator)
-	if est == nil {
-		return Estimate{}, fmt.Errorf("rfidest: unknown estimator %q (known: %v)", o.estimator, Estimators())
-	}
-	if err := validateAccuracy(o.epsilon, o.delta); err != nil {
-		return Estimate{}, err
-	}
-	if err := validateRetry(o.retries, o.retryBudget); err != nil {
-		return Estimate{}, err
-	}
-	name := est.Name()
-	est = estimators.Instrument(est, o.observer)
-	session := open()
-	acc := estimators.Accuracy{Epsilon: o.epsilon, Delta: o.delta}
-	res, err := est.Estimate(session, acc)
+// runOn validates the options, opens a session via open and drives the
+// selected protocol's round machine to completion. It is the single
+// execution path behind Run and every deprecated Estimate* wrapper.
+func (s *System) runOn(ctx context.Context, open func() *channel.Reader, o runOptions) (Estimate, error) {
+	rs, err := s.startRun(open, o)
 	if err != nil {
 		return Estimate{}, err
 	}
-	// Retry loop: a saturated round is re-run with fresh frame seeds (the
-	// session's seed stream simply continues) while attempts and the
-	// simulated air-time budget allow. With retries unset the loop body
-	// never runs and the path is bit-identical to the pre-retry code.
-	attempts := 0
-	for res.Saturated && attempts < o.retries {
-		if o.retryBudget > 0 && res.Seconds >= o.retryBudget {
-			break
-		}
-		attempts++
-		o.observer.Retry(name, attempts)
-		next, err := est.Estimate(session, acc)
+	for {
+		done, err := rs.Step(ctx)
 		if err != nil {
 			return Estimate{}, err
 		}
-		next.Rounds += res.Rounds
-		next.Slots += res.Slots
-		next.Seconds += res.Seconds
-		next.Cost.Add(res.Cost)
-		res = next
+		if done {
+			break
+		}
 	}
-	if o.retries > 0 && res.Saturated {
-		o.observer.Degraded(name)
-	}
-	out := fromResult(res)
-	out.Retries = attempts
-	out.TagTransmissions = session.TagTransmissions()
-	s.reportFaults(session, o.observer)
-	if o.observer != obs.Nop && s.n > 0 {
-		o.observer.EstimateError(stats.RelError(out.N, float64(s.n)))
-	}
-	return out, nil
+	return rs.Result()
 }
 
 // validateRetry is the WithRetry domain check. The budget comparison is
@@ -273,7 +242,7 @@ func (s *System) RunBFCEDetail(ctx context.Context, opts ...Option) (BFCEDetail,
 		r.SetObserver(o.observer)
 		o.observer.SessionOpen("BFCE")
 	}
-	res, err := est.EstimateRetry(r, core.RetryPolicy{MaxRetries: o.retries, BudgetSeconds: o.retryBudget})
+	res, err := est.EstimateRetry(ctx, r, core.RetryPolicy{MaxRetries: o.retries, BudgetSeconds: o.retryBudget})
 	if instrumented {
 		for i := 1; i <= res.Retries; i++ {
 			o.observer.Retry("BFCE", i)

@@ -1,10 +1,13 @@
-package rfidest
+package rfidest_test
 
 import (
 	"context"
 	"errors"
 	"strings"
 	"testing"
+
+	"rfidest"
+	"rfidest/internal/goldengrid"
 )
 
 // TestRunMatchesGoldenGrid proves the Run entry point reproduces the
@@ -13,42 +16,43 @@ import (
 // observation-passivity contract across every estimator and engine kind.
 func TestRunMatchesGoldenGrid(t *testing.T) {
 	ctx := context.Background()
-	reg := NewMetrics()
-	systems := make(map[string]*System)
-	for _, c := range goldenCases {
-		sys, ok := systems[c.system]
-		if !ok {
-			sys = goldenSystem(t, c.system)
-			systems[c.system] = sys
+	reg := rfidest.NewMetrics()
+	system := goldenSystems(t)
+	cases := goldengrid.Cases()
+	for _, c := range cases {
+		sys := system(c.System)
+		opts := []rfidest.Option{
+			rfidest.WithEstimator(c.Estimator),
+			rfidest.WithAccuracy(goldengrid.Epsilon, goldengrid.Delta),
+			rfidest.WithSalt(c.Salt),
 		}
-		opts := []Option{WithEstimator(c.name), WithAccuracy(0.1, 0.1), WithSalt(c.salt)}
 		got, err := sys.Run(ctx, opts...)
 		if err != nil {
-			t.Errorf("%s/%s/0x%x: %v", c.system, c.name, c.salt, err)
+			t.Errorf("%s/%s/0x%x: %v", c.System, c.Estimator, c.Salt, err)
 			continue
 		}
-		if got != c.want {
-			t.Errorf("%s/%s/0x%x:\n got  %+v\n want %+v", c.system, c.name, c.salt, got, c.want)
+		if got != c.Want {
+			t.Errorf("%s/%s/0x%x:\n got  %+v\n want %+v", c.System, c.Estimator, c.Salt, got, c.Want)
 		}
-		observed, err := sys.Run(ctx, append(opts, WithObserver(reg))...)
+		observed, err := sys.Run(ctx, append(opts, rfidest.WithObserver(reg))...)
 		if err != nil {
-			t.Errorf("%s/%s/0x%x observed: %v", c.system, c.name, c.salt, err)
+			t.Errorf("%s/%s/0x%x observed: %v", c.System, c.Estimator, c.Salt, err)
 			continue
 		}
-		if observed != c.want {
+		if observed != c.Want {
 			t.Errorf("%s/%s/0x%x: observer perturbed the estimate:\n got  %+v\n want %+v",
-				c.system, c.name, c.salt, observed, c.want)
+				c.System, c.Estimator, c.Salt, observed, c.Want)
 		}
 	}
-	if s := reg.Snapshot(); s.Sessions != int64(len(goldenCases)) {
-		t.Errorf("registry saw %d sessions, want %d", s.Sessions, len(goldenCases))
+	if s := reg.Snapshot(); s.Sessions != int64(len(cases)) {
+		t.Errorf("registry saw %d sessions, want %d", s.Sessions, len(cases))
 	}
 }
 
 // TestRunDefaults: a bare Run is BFCE at the paper's (0.05, 0.05).
 func TestRunDefaults(t *testing.T) {
-	sys := NewSystem(20000, WithSeed(3), WithSynthetic())
-	got, err := sys.Run(context.Background(), WithSalt(7))
+	sys := rfidest.NewSystem(20000, rfidest.WithSeed(3), rfidest.WithSynthetic())
+	got, err := sys.Run(context.Background(), rfidest.WithSalt(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,21 +66,21 @@ func TestRunDefaults(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	sys := NewSystem(1000, WithSynthetic())
+	sys := rfidest.NewSystem(1000, rfidest.WithSynthetic())
 	ctx := context.Background()
-	if _, err := sys.Run(ctx, WithEstimator("nope")); err == nil ||
+	if _, err := sys.Run(ctx, rfidest.WithEstimator("nope")); err == nil ||
 		!strings.Contains(err.Error(), `unknown estimator "nope"`) {
 		t.Errorf("unknown estimator: err = %v", err)
 	}
-	if _, err := sys.Run(ctx, WithAccuracy(0, 0.5)); err == nil ||
+	if _, err := sys.Run(ctx, rfidest.WithAccuracy(0, 0.5)); err == nil ||
 		!strings.Contains(err.Error(), "epsilon and delta must be in (0, 1)") {
 		t.Errorf("bad accuracy: err = %v", err)
 	}
-	if _, err := sys.RunBFCEDetail(ctx, WithEstimator("ZOE")); err == nil ||
+	if _, err := sys.RunBFCEDetail(ctx, rfidest.WithEstimator("ZOE")); err == nil ||
 		!strings.Contains(err.Error(), "BFCE only") {
 		t.Errorf("detail with foreign estimator: err = %v", err)
 	}
-	if _, err := sys.RunBFCEDetail(ctx, WithAccuracy(2, 0.5)); err == nil ||
+	if _, err := sys.RunBFCEDetail(ctx, rfidest.WithAccuracy(2, 0.5)); err == nil ||
 		!strings.Contains(err.Error(), "epsilon and delta must be in (0, 1)") {
 		t.Errorf("detail bad accuracy: err = %v", err)
 	}
@@ -85,7 +89,7 @@ func TestRunValidation(t *testing.T) {
 // TestRunCancellation: a done context stops the run before the session
 // opens; nil contexts are accepted.
 func TestRunCancellation(t *testing.T) {
-	sys := NewSystem(1000, WithSynthetic())
+	sys := rfidest.NewSystem(1000, rfidest.WithSynthetic())
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if _, err := sys.Run(ctx); !errors.Is(err, context.Canceled) {
@@ -94,7 +98,7 @@ func TestRunCancellation(t *testing.T) {
 	if _, err := sys.RunBFCEDetail(ctx); !errors.Is(err, context.Canceled) {
 		t.Errorf("RunBFCEDetail on cancelled ctx: err = %v, want context.Canceled", err)
 	}
-	if _, err := sys.Run(nil, WithSalt(1)); err != nil { //nolint:staticcheck // nil ctx tolerance is part of the contract
+	if _, err := sys.Run(nil, rfidest.WithSalt(1)); err != nil { //nolint:staticcheck // nil ctx tolerance is part of the contract
 		t.Errorf("Run(nil ctx): %v", err)
 	}
 }
@@ -103,13 +107,13 @@ func TestRunCancellation(t *testing.T) {
 // execute the same protocol over the same salted session, so the headline
 // fields — and, post-fix, TagTransmissions — must agree.
 func TestRunBFCEDetailAgreesWithRun(t *testing.T) {
-	sys := NewSystem(20000, WithSeed(42))
+	sys := rfidest.NewSystem(20000, rfidest.WithSeed(42))
 	ctx := context.Background()
-	det, err := sys.RunBFCEDetail(ctx, WithAccuracy(0.1, 0.1), WithSalt(0x1))
+	det, err := sys.RunBFCEDetail(ctx, rfidest.WithAccuracy(0.1, 0.1), rfidest.WithSalt(0x1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, err := sys.Run(ctx, WithAccuracy(0.1, 0.1), WithSalt(0x1))
+	est, err := sys.Run(ctx, rfidest.WithAccuracy(0.1, 0.1), rfidest.WithSalt(0x1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,9 +135,9 @@ func TestRunBFCEDetailAgreesWithRun(t *testing.T) {
 // ISSUE's snapshot contract names — per-phase slots, air time and probe
 // rounds.
 func TestRunMetricsEndToEnd(t *testing.T) {
-	sys := NewSystem(50000, WithSeed(7), WithSynthetic())
-	reg := NewMetrics()
-	if _, err := sys.Run(context.Background(), WithSalt(9), WithObserver(reg)); err != nil {
+	sys := rfidest.NewSystem(50000, rfidest.WithSeed(7), rfidest.WithSynthetic())
+	reg := rfidest.NewMetrics()
+	if _, err := sys.Run(context.Background(), rfidest.WithSalt(9), rfidest.WithObserver(reg)); err != nil {
 		t.Fatal(err)
 	}
 	s := reg.Snapshot()

@@ -1,0 +1,226 @@
+package rfidest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"rfidest/internal/channel"
+	"rfidest/internal/estimators"
+	"rfidest/internal/obs"
+	"rfidest/internal/stats"
+	"rfidest/internal/timing"
+)
+
+// RunSession is one estimation run held open between protocol rounds.
+// StartRun opens the session and pauses before the first round; each Step
+// executes exactly one round (one reader broadcast plus one observed
+// frame); Result returns the estimate once Step reports done.
+//
+// A stepped run is bit-identical to Run with the same options — Run itself
+// is a StartRun/Step loop — but the caller owns the schedule: rounds of
+// several sessions can be interleaved (the fleet harness's -interleave
+// mode drives many RunSession-shaped runs round-robin), a deadline can cut
+// a run at a round boundary, and progress can be observed mid-protocol.
+//
+// A RunSession is single-goroutine; concurrent runs take one RunSession
+// each (the underlying System stays shared and safe).
+type RunSession struct {
+	sys  *System
+	o    runOptions
+	name string
+	est  estimators.Estimator
+	acc  estimators.Accuracy
+	st   estimators.Stepper
+	r    *channel.Reader
+	prev obs.Observer
+
+	attempt      int // retry attempts started beyond the first run
+	attemptStart timing.Cost
+	total        estimators.Result
+	rounds       int
+
+	finished bool
+	out      Estimate
+	err      error
+}
+
+// StartRun validates the options, opens a fresh session (counter-derived,
+// or salt-addressed under WithSalt) and returns the run paused before its
+// first round. The options are those of Run; nothing executes until Step.
+func (s *System) StartRun(opts ...Option) (*RunSession, error) {
+	o := defaultRunOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	open := s.session
+	if o.hasSalt {
+		salt := o.salt
+		open = func() *channel.Reader { return s.sessionAt(salt) }
+	}
+	return s.startRun(open, o)
+}
+
+// startRun is the shared constructor behind StartRun and runOn. The
+// operation order (estimator lookup, accuracy validation, stepper build,
+// then session open) is load-bearing — the session counter must not
+// advance for invalid calls.
+func (s *System) startRun(open func() *channel.Reader, o runOptions) (*RunSession, error) {
+	est := estimators.New(o.estimator)
+	if est == nil {
+		return nil, fmt.Errorf("rfidest: unknown estimator %q (known: %v)", o.estimator, Estimators())
+	}
+	if err := validateAccuracy(o.epsilon, o.delta); err != nil {
+		return nil, err
+	}
+	if err := validateRetry(o.retries, o.retryBudget); err != nil {
+		return nil, err
+	}
+	acc := estimators.Accuracy{Epsilon: o.epsilon, Delta: o.delta}
+	st, err := estimators.AsStepper(est, acc)
+	if err != nil {
+		return nil, err
+	}
+	rs := &RunSession{sys: s, o: o, name: est.Name(), est: est, acc: acc, st: st, r: open()}
+	rs.attemptStart = rs.r.Cost()
+	if rs.instrumented() {
+		rs.prev = rs.r.Observer()
+		rs.r.SetObserver(obs.Multi(rs.prev, o.observer))
+		o.observer.SessionOpen(rs.name)
+	}
+	return rs, nil
+}
+
+func (rs *RunSession) instrumented() bool { return rs.o.observer != obs.Nop }
+
+// Estimator returns the registry name of the protocol being run.
+func (rs *RunSession) Estimator() string { return rs.name }
+
+// Rounds returns how many rounds have been stepped so far, across retry
+// attempts. A legacy-adapted protocol counts as a single round.
+func (rs *RunSession) Rounds() int { return rs.rounds }
+
+// Done reports whether the run has finished (successfully or not).
+func (rs *RunSession) Done() bool { return rs.finished }
+
+// Step executes the next protocol round and reports whether the run
+// completed. ctx, when non-nil, cancels between rounds: it is checked
+// before the round executes, the round in flight always completes, and a
+// cancelled run finishes with ctx's error. Saturated-run retries
+// (WithRetry) happen inside Step — a retried run simply keeps stepping
+// through fresh attempts until it settles or exhausts its budget.
+//
+// After the first (true, err) return, further Steps are no-ops returning
+// the same outcome.
+func (rs *RunSession) Step(ctx context.Context) (done bool, err error) {
+	if rs.finished {
+		return true, rs.err
+	}
+	done, err = channel.StepRound(ctx, rs.r, rs.st)
+	if err != nil {
+		rs.r.EndPhase()
+		return true, rs.fail(err)
+	}
+	rs.rounds++
+	if !done {
+		return false, nil
+	}
+	rs.r.EndPhase()
+
+	// One attempt (a full protocol run) completed: finalize its result and
+	// fold it into the running total, exactly as the pre-stepper retry loop
+	// accumulated re-runs.
+	res := rs.st.Result(rs.r.Cost().Sub(rs.attemptStart), rs.r.Profile)
+	if rs.instrumented() {
+		rs.o.observer.SessionClose(obs.SessionStats{
+			Estimator:        rs.name,
+			Estimate:         res.Estimate,
+			Rounds:           res.Rounds,
+			Slots:            res.Slots,
+			ReaderBits:       res.Cost.ReaderBits,
+			Seconds:          res.Seconds,
+			TagTransmissions: rs.r.TagTransmissions(),
+			Guarded:          res.Guarded,
+			Err:              false,
+		})
+	}
+	if rs.attempt > 0 {
+		res.Rounds += rs.total.Rounds
+		res.Slots += rs.total.Slots
+		res.Seconds += rs.total.Seconds
+		res.Cost.Add(rs.total.Cost)
+	}
+	rs.total = res
+
+	// Retry: a saturated run is re-run with fresh frame seeds (the
+	// session's seed stream simply continues) while attempts and the
+	// simulated air-time budget allow.
+	if rs.total.Saturated && rs.attempt < rs.o.retries &&
+		!(rs.o.retryBudget > 0 && rs.total.Seconds >= rs.o.retryBudget) {
+		rs.attempt++
+		rs.o.observer.Retry(rs.name, rs.attempt)
+		st, err := estimators.AsStepper(rs.est, rs.acc)
+		if err != nil {
+			return true, rs.fail(err)
+		}
+		rs.st = st
+		rs.attemptStart = rs.r.Cost()
+		if rs.instrumented() {
+			rs.o.observer.SessionOpen(rs.name)
+		}
+		return false, nil
+	}
+
+	rs.settle()
+	return true, nil
+}
+
+// fail finishes the run with an error, closing the open session span (with
+// a zero result and the error flag, as the instrumented path always did)
+// and restoring the session observer.
+func (rs *RunSession) fail(err error) error {
+	if rs.instrumented() {
+		rs.o.observer.SessionClose(obs.SessionStats{
+			Estimator:        rs.name,
+			TagTransmissions: rs.r.TagTransmissions(),
+			Err:              true,
+		})
+		rs.r.SetObserver(rs.prev)
+	}
+	rs.finished = true
+	rs.err = err
+	return err
+}
+
+// settle finishes a successful run: degradation accounting, fault
+// forwarding and the estimation-error metric, in the exact order of the
+// pre-stepper execution path.
+func (rs *RunSession) settle() {
+	if rs.o.retries > 0 && rs.total.Saturated {
+		rs.o.observer.Degraded(rs.name)
+	}
+	out := fromResult(rs.total)
+	out.Retries = rs.attempt
+	out.TagTransmissions = rs.r.TagTransmissions()
+	if rs.instrumented() {
+		rs.r.SetObserver(rs.prev)
+	}
+	rs.sys.reportFaults(rs.r, rs.o.observer)
+	if rs.o.observer != obs.Nop && rs.sys.n > 0 {
+		rs.o.observer.EstimateError(stats.RelError(out.N, float64(rs.sys.n)))
+	}
+	rs.finished = true
+	rs.out = out
+}
+
+// Result returns the estimate of a completed run. Calling it before Step
+// reports done is an error.
+func (rs *RunSession) Result() (Estimate, error) {
+	if !rs.finished {
+		return Estimate{}, errors.New("rfidest: run still in progress; Step it until done")
+	}
+	if rs.err != nil {
+		return Estimate{}, rs.err
+	}
+	return rs.out, nil
+}
