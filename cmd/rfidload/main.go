@@ -1,0 +1,198 @@
+// Command rfidload is a closed-loop load generator for rfidserved: -c
+// workers each keep one request in flight against POST /v1/estimate,
+// optionally paced to a global -rps target, for -duration. It reports
+// throughput, status counts and a latency histogram, and exits nonzero
+// under -fail-on-error if any request failed — which makes it both the
+// bench baseline driver and the CI smoke check:
+//
+//	rfidload -url http://127.0.0.1:8080 -c 8 -duration 5s
+//	rfidload -url "$addr" -c 32 -rps 200 -duration 10s -json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+type result struct {
+	status  int // -1 on transport error
+	seconds float64
+}
+
+type report struct {
+	Requests     int            `json:"requests"`
+	Errors       int            `json:"errors"` // non-2xx + transport failures
+	Seconds      float64        `json:"seconds"`
+	Throughput   float64        `json:"throughput"` // requests per second
+	ByStatus     map[string]int `json:"byStatus"`
+	LatencyMsP50 float64        `json:"latencyMsP50"`
+	LatencyMsP90 float64        `json:"latencyMsP90"`
+	LatencyMsP99 float64        `json:"latencyMsP99"`
+	LatencyMsMax float64        `json:"latencyMsMax"`
+}
+
+func main() {
+	var (
+		baseURL   = flag.String("url", "http://127.0.0.1:8080", "rfidserved base URL")
+		workers   = flag.Int("c", 8, "concurrent closed-loop workers")
+		duration  = flag.Duration("duration", 5*time.Second, "how long to drive load")
+		rps       = flag.Float64("rps", 0, "global request-rate target (0 = as fast as the loop closes)")
+		n         = flag.Int("n", 10000, "tag population in the request spec")
+		synthetic = flag.Bool("synthetic", true, "use a synthetic (non-materialized) population")
+		estimator = flag.String("estimator", "BFCE", "estimator to request")
+		eps       = flag.Float64("eps", 0.1, "epsilon")
+		delta     = flag.Float64("delta", 0.1, "delta")
+		solo      = flag.Bool("solo", false, "bypass the server's micro-batcher")
+		jsonOut   = flag.Bool("json", false, "print the report as JSON")
+		failOnErr = flag.Bool("fail-on-error", false, "exit 1 if any request failed (CI smoke mode)")
+	)
+	flag.Parse()
+
+	body, err := json.Marshal(map[string]any{
+		"system":    map[string]any{"n": *n, "seed": 3, "synthetic": *synthetic},
+		"estimator": *estimator,
+		"epsilon":   *eps,
+		"delta":     *delta,
+		"solo":      *solo,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rfidload: %v\n", err)
+		os.Exit(1)
+	}
+	url := *baseURL + "/v1/estimate"
+
+	// Optional open-loop pacing: a token bucket the workers drain. With
+	// rps=0 the bucket is nil and each worker fires as soon as its
+	// previous request answers (pure closed loop).
+	var pace chan struct{}
+	if *rps > 0 {
+		pace = make(chan struct{}, *workers)
+		interval := time.Duration(float64(time.Second) / *rps)
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for range t.C {
+				select {
+				case pace <- struct{}{}:
+				default: // bucket full: the loop is saturated, drop the token
+				}
+			}
+		}()
+	}
+
+	stop := time.After(*duration)
+	stopped := make(chan struct{})
+	go func() { <-stop; close(stopped) }()
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		results []result
+	)
+	client := &http.Client{}
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []result
+			for {
+				select {
+				case <-stopped:
+					mu.Lock()
+					results = append(results, local...)
+					mu.Unlock()
+					return
+				default:
+				}
+				if pace != nil {
+					select {
+					case <-pace:
+					case <-stopped:
+						continue
+					}
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				r := result{status: -1, seconds: time.Since(t0).Seconds()}
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					r.status = resp.StatusCode
+					r.seconds = time.Since(t0).Seconds()
+				}
+				local = append(local, r)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rep := summarize(results, elapsed)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	} else {
+		fmt.Printf("requests   %d (%d errors)\n", rep.Requests, rep.Errors)
+		fmt.Printf("throughput %.1f req/s over %.2fs\n", rep.Throughput, rep.Seconds)
+		for code, count := range rep.ByStatus {
+			fmt.Printf("  status %s  %d\n", code, count)
+		}
+		fmt.Printf("latency ms p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+			rep.LatencyMsP50, rep.LatencyMsP90, rep.LatencyMsP99, rep.LatencyMsMax)
+	}
+	if *failOnErr && rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "rfidload: %d of %d requests failed\n", rep.Errors, rep.Requests)
+		os.Exit(1)
+	}
+	if rep.Requests == 0 {
+		fmt.Fprintln(os.Stderr, "rfidload: no request completed")
+		os.Exit(1)
+	}
+}
+
+func summarize(results []result, elapsed float64) report {
+	rep := report{
+		Requests: len(results),
+		Seconds:  elapsed,
+		ByStatus: make(map[string]int),
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(len(results)) / elapsed
+	}
+	lat := make([]float64, 0, len(results))
+	for _, r := range results {
+		key := "transport-error"
+		if r.status >= 0 {
+			key = fmt.Sprint(r.status)
+		}
+		rep.ByStatus[key]++
+		if r.status < 200 || r.status > 299 {
+			rep.Errors++
+			continue
+		}
+		lat = append(lat, r.seconds*1000)
+	}
+	if len(lat) == 0 {
+		return rep
+	}
+	sort.Float64s(lat)
+	q := func(p float64) float64 {
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	rep.LatencyMsP50 = q(0.50)
+	rep.LatencyMsP90 = q(0.90)
+	rep.LatencyMsP99 = q(0.99)
+	rep.LatencyMsMax = lat[len(lat)-1]
+	return rep
+}

@@ -30,10 +30,9 @@ func main() {
 	)
 	flag.Parse()
 
-	est := estimators.New(*name)
-	if est == nil {
-		fmt.Fprintf(os.Stderr, "rfidtrace: unknown estimator %q (known: %s)\n",
-			*name, strings.Join(estimators.Names(), ", "))
+	est, err := estimators.New(*name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rfidtrace: %v\n", err)
 		os.Exit(2)
 	}
 

@@ -66,7 +66,7 @@
 // Observation is passive — estimates are bit-identical with and without
 // it — and the default no-op observer costs nothing. The rfidfleet and
 // experiments CLIs expose the registry via -metrics text|json; see
-// examples/observability and DESIGN.md §11.
+// examples/observability and DESIGN.md §12.
 //
 // # Faults, retries and degraded results
 //
@@ -90,7 +90,7 @@
 // the same policy to batches: jobs with retries degrade to partial
 // results (JobResult.Degraded) instead of failing, with exponential
 // backoff charged in simulated air time and optional per-trial context
-// deadlines. See internal/faults and DESIGN.md §12.
+// deadlines. See internal/faults and DESIGN.md §13.
 //
 // # What is simulated
 //
@@ -121,6 +121,24 @@
 // cmd/rfidfleet) fans batches of estimation jobs across a bounded worker
 // pool on top of these guarantees, with results independent of the worker
 // count.
+//
+// # Serving
+//
+// internal/serve exposes estimation over HTTP/JSON (stdlib net/http
+// only), with cmd/rfidserved as the daemon and cmd/rfidload as a
+// closed-loop load generator. POST /v1/estimate answers one estimation
+// and POST /v1/batch runs a whole fleet batch (optionally on the
+// interleaving scheduler); GET /v1/metrics exports the estimation and
+// HTTP registries as text or JSON. Determinism survives the transport: a
+// request that pins a salt returns the bit-identical estimate of the
+// equivalent in-process Run(WithSalt(...)), whether the server answers it
+// solo or coalesces it with concurrent requests into a fleet batch —
+// micro-batching is a throughput decision, never a result decision — and
+// server-assigned salts are derived from the configured seed and echoed
+// for replay. Admission is bounded (in-flight slots plus a short queue;
+// overflow sheds with 429 and Retry-After, deadlines map to 504), and
+// shutdown drains in-flight sessions at round boundaries. See DESIGN.md
+// §10.
 //
 // The experiment harness that regenerates every table and figure of the
 // paper lives in cmd/experiments; DESIGN.md maps each experiment to the

@@ -9,39 +9,46 @@ import (
 )
 
 // Estimate is the outcome of one estimation run over a System.
+//
+// The json tags below are the frozen wire schema of the serving layer
+// (lowerCamel field names; omitempty only where the zero value carries no
+// information). TestEstimateWireFormat pins the rendering — changing a tag
+// is a wire-format break, not a refactor.
 type Estimate struct {
 	// N is the estimated cardinality n̂.
-	N float64
+	N float64 `json:"n"`
 	// Seconds is the protocol's air time under EPCglobal C1G2 — the
 	// paper's "overall execution time" metric.
-	Seconds float64
+	Seconds float64 `json:"seconds"`
 	// Slots is the number of tag→reader slots the protocol consumed.
-	Slots int
+	Slots int `json:"slots"`
 	// ReaderBits is the number of bits the reader broadcast (parameters
 	// and seeds) — the cost component the paper shows dominates ZOE.
-	ReaderBits int
+	ReaderBits int `json:"readerBits"`
 	// Rounds is the number of protocol rounds/frames executed.
-	Rounds int
+	Rounds int `json:"rounds"`
 	// Guarded reports whether the protocol's (ε, δ) guarantee machinery
 	// was in effect (for BFCE: Theorem 3 had a feasible persistence
-	// probability at the rough lower bound).
-	Guarded bool
+	// probability at the rough lower bound). False is meaningful (LOF
+	// never guards), so no omitempty.
+	Guarded bool `json:"guarded"`
 	// TagTransmissions is the total number of tag backscatter
 	// transmissions the protocol triggered — the tag-side energy proxy
 	// (each transmission drains an active tag's battery). -1 if the
-	// session's engine does not meter energy.
-	TagTransmissions int
+	// session's engine does not meter energy (so zero is meaningful and
+	// the field is never omitted).
+	TagTransmissions int `json:"tagTransmissions"`
 	// Saturated reports that the final protocol round observed a
 	// degenerate all-idle or all-busy vector and N is a clamp artifact
 	// rather than a measurement (BFCE only; other protocols leave it
 	// false). Under WithRetry a true value means every attempt saturated —
 	// the degraded-result contract: the estimate is still returned, but N
 	// is only a resolution bound on the true cardinality.
-	Saturated bool
+	Saturated bool `json:"saturated,omitempty"`
 	// Retries is how many times the run was re-executed after a saturated
 	// attempt (see WithRetry). Cost fields aggregate over all attempts; N,
 	// Guarded and Saturated describe the last one.
-	Retries int
+	Retries int `json:"retries,omitempty"`
 }
 
 func fromResult(r estimators.Result) Estimate {
@@ -98,14 +105,14 @@ func (s *System) EstimateWithSalt(name string, epsilon, delta float64, salt uint
 // alongside the estimate: the rough estimate, the lower bound, the chosen
 // persistence numerators and the probe behaviour.
 type BFCEDetail struct {
-	Estimate    Estimate
-	Rough       float64 // n̂_r from the 1024-slot rough phase
-	LowerBound  float64 // n̂_low = c·n̂_r
-	ProbePn     int     // persistence numerator the probe settled on (p_s·1024)
-	OptimalPn   int     // numerator of the accurate phase (p_o·1024)
-	ProbeRounds int     // probe adjustments before p_s was valid
-	Feasible    bool    // Theorem 3 had a feasible p_o at n̂_low
-	Saturated   bool    // a phase saw a degenerate all-0s/all-1s vector
+	Estimate    Estimate `json:"estimate"`
+	Rough       float64  `json:"rough"`               // n̂_r from the 1024-slot rough phase
+	LowerBound  float64  `json:"lowerBound"`          // n̂_low = c·n̂_r
+	ProbePn     int      `json:"probePn"`             // persistence numerator the probe settled on (p_s·1024)
+	OptimalPn   int      `json:"optimalPn"`           // numerator of the accurate phase (p_o·1024)
+	ProbeRounds int      `json:"probeRounds"`         // probe adjustments before p_s was valid
+	Feasible    bool     `json:"feasible"`            // Theorem 3 had a feasible p_o at n̂_low
+	Saturated   bool     `json:"saturated,omitempty"` // a phase saw a degenerate all-0s/all-1s vector
 }
 
 // EstimateBFCEDetail is EstimateBFCE with full diagnostics.

@@ -1,10 +1,21 @@
 package estimators
 
-import "sort"
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrUnknownEstimator is the sentinel wrapped by New for names outside the
+// registry. Callers that turn estimator lookup into a protocol-level
+// response (the serving layer's 400, a CLI's usage message) test for it
+// with errors.Is instead of string-matching.
+var ErrUnknownEstimator = errors.New("unknown estimator")
 
 // registry maps protocol names to fresh estimator instances. It is the
 // single source of truth for which protocols exist: the root package's
-// EstimateWith and every CLI resolve names through New/Names below.
+// Run options and every CLI resolve names through New/Names below.
 var registry = map[string]func() Estimator{
 	"BFCE":        func() Estimator { return NewBFCE() },
 	"BFCE-multi":  func() Estimator { return NewBFCEMulti() },
@@ -20,14 +31,16 @@ var registry = map[string]func() Estimator{
 	"PET":         func() Estimator { return NewPET() },
 }
 
-// New returns a fresh instance of the named protocol, or nil if the name
-// is unknown (see Names for the accepted set).
-func New(name string) Estimator {
+// New returns a fresh instance of the named protocol. An unrecognized name
+// yields an error wrapping ErrUnknownEstimator that lists the accepted set
+// (see Names).
+func New(name string) (Estimator, error) {
 	mk, ok := registry[name]
 	if !ok {
-		return nil
+		return nil, fmt.Errorf("estimators: %w %q (known: %s)",
+			ErrUnknownEstimator, name, strings.Join(Names(), ", "))
 	}
-	return mk()
+	return mk(), nil
 }
 
 // Names returns the protocol names accepted by New, sorted.

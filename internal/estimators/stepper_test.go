@@ -111,9 +111,9 @@ func TestStepperRestoreRejectsForeignSnapshot(t *testing.T) {
 // a single driver round that reproduces Estimate exactly.
 func TestAsStepperLegacy(t *testing.T) {
 	for _, name := range []string{"UPE", "EZB", "FNEB", "MLE", "ART", "PET"} {
-		est := New(name)
-		if est == nil {
-			t.Fatalf("estimator %q missing from registry", name)
+		est, err := New(name)
+		if err != nil {
+			t.Fatalf("estimator %q missing from registry: %v", name, err)
 		}
 		if _, ok := est.(Steppable); ok {
 			t.Fatalf("%s is Steppable now; move it out of the legacy test", name)
@@ -123,7 +123,11 @@ func TestAsStepperLegacy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		st, err := AsStepper(New(name), Default)
+		fresh, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := AsStepper(fresh, Default)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -152,7 +156,11 @@ func TestAsStepperLegacy(t *testing.T) {
 // which forward one legacy round for it).
 func TestAsStepperNative(t *testing.T) {
 	for _, name := range []string{"BFCE", "ZOE", "SRC", "LOF"} {
-		st, err := AsStepper(New(name), Default)
+		est, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := AsStepper(est, Default)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -17,74 +17,97 @@ import (
 // System with a named estimator.
 type Job struct {
 	// Name labels the job in reports; empty names render as "sysI/estimator".
-	Name string
+	Name string `json:"name,omitempty"`
 	// System is the deployment to estimate. Systems may be shared between
 	// jobs: concurrent estimation over one System is safe, and fleet trials
 	// address their sessions by salt, so sharing does not perturb results.
-	System *rfidest.System
+	System *rfidest.System `json:"-"`
 	// Estimator is a name accepted by System.EstimateWith (see
 	// rfidest.Estimators).
-	Estimator string
+	Estimator string `json:"estimator"`
 	// Epsilon, Delta form the accuracy requirement, both in (0, 1).
-	Epsilon, Delta float64
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
 	// Trials is how many independent estimations to run (0 means 1).
-	Trials int
+	Trials int `json:"trials,omitempty"`
 	// Retries is how many times a failed or saturated trial may be re-run
 	// before the job degrades (0 = no retry, the historical behaviour:
 	// the first error fails the job). Retry attempt k of trial t runs over
 	// the session addressed by Combine(seed, job, t, k), so retried
 	// batches replay bit-identically too.
-	Retries int
+	//
+	// Deprecated: prefer Options with rfidest.WithRetry, which re-runs
+	// saturated rounds inside one session instead of re-salting whole
+	// trials. The field is kept for batches that want the historical
+	// fresh-salt retry ladder.
+	Retries int `json:"retries,omitempty"`
 	// RetryBackoffSeconds is the simulated air time charged before retry
 	// attempt k (scaled by 2^(k-1) — exponential backoff). It models the
 	// quiet period a real reader waits out after a failed round and is
 	// accounted in AirSeconds/BackoffSeconds; no wall-clock sleep happens.
-	RetryBackoffSeconds float64
+	//
+	// Deprecated: meaningful only with the deprecated Retries ladder.
+	RetryBackoffSeconds float64 `json:"retryBackoffSeconds,omitempty"`
 	// Observer, when non-nil, receives the job's session and phase spans.
 	// It is teed with the batch-wide Config.Observer; observation is
 	// passive, so attaching one never perturbs results.
-	Observer obs.Observer
+	Observer obs.Observer `json:"-"`
+	// Options are extra rfidest run options appended after the ones the
+	// runner derives from the fields above (estimator, accuracy, trial
+	// salt, observer) — the unified option path the serving layer marshals
+	// requests onto. Because options apply in order, an option here
+	// overrides its field-derived counterpart: rfidest.WithSeedSalt pins
+	// every trial and retry attempt of the job to that one session
+	// (Trials > 1 then re-runs one bit-identical session — what a
+	// coalesced single-estimate request wants), rfidest.WithTimeout bounds
+	// each trial attempt like Config.TrialTimeout, and
+	// rfidest.WithEstimator / rfidest.WithAccuracy shadow the Estimator /
+	// Epsilon / Delta fields. Options must be pure (stateless closures):
+	// they are re-applied on every trial and attempt.
+	Options []rfidest.Option `json:"-"`
 }
 
 // JobResult is the outcome of one Job.
 type JobResult struct {
-	Job   Job
-	Index int // position in the submitted batch
+	Job   Job `json:"job"`
+	Index int `json:"index"` // position in the submitted batch
 
 	// Estimates holds one entry per completed trial, in trial order.
-	Estimates []rfidest.Estimate
+	Estimates []rfidest.Estimate `json:"estimates,omitempty"`
 	// Err is the first trial error; trials after a failure are not run.
 	// FailedAt is that trial's index (-1 when Err is nil). With Retries
 	// configured, a trial that exhausts its retries degrades the job (see
 	// Degraded) instead of setting Err — only batch cancellation and
-	// retry-exempt failures land here.
-	Err      error
-	FailedAt int
+	// retry-exempt failures land here. Err itself does not marshal;
+	// Failure carries its message on the wire.
+	Err      error  `json:"-"`
+	Failure  string `json:"failure,omitempty"`
+	FailedAt int    `json:"failedAt"`
 	// Skipped is set when cancellation struck before the job started.
-	Skipped bool
+	Skipped bool `json:"skipped,omitempty"`
 
 	// Degraded reports the job returned a partial or reduced-quality
 	// result: a trial exhausted its retries (and was dropped), or a
 	// trial's accepted estimate was still saturated after retrying.
 	// DegradedTrials counts the latter.
-	Degraded       bool
-	DegradedTrials int
+	Degraded       bool `json:"degraded,omitempty"`
+	DegradedTrials int  `json:"degradedTrials,omitempty"`
 	// Retries is the total number of re-run attempts across the job's
 	// trials; BackoffSeconds the simulated backoff time they cost (also
 	// included in AirSeconds).
-	Retries        int
-	BackoffSeconds float64
+	Retries        int     `json:"retries,omitempty"`
+	BackoffSeconds float64 `json:"backoffSeconds,omitempty"`
 
 	// MeanAbsErr and MaxAbsErr summarize |n̂−n|/n over the completed
 	// trials against the System's ground truth (NaN-free: 0 when no trial
 	// completed).
-	MeanAbsErr float64
-	MaxAbsErr  float64
+	MeanAbsErr float64 `json:"meanAbsErr"`
+	MaxAbsErr  float64 `json:"maxAbsErr"`
 	// AirSeconds is the total simulated air time the job consumed.
-	AirSeconds float64
+	AirSeconds float64 `json:"airSeconds"`
 	// Transmissions is the total tag transmissions across trials, or -1
 	// when the System's engine does not meter energy.
-	Transmissions int
+	Transmissions int `json:"transmissions"`
 }
 
 // Label returns the job's display name.
@@ -98,30 +121,30 @@ func (r JobResult) Label() string {
 // Report aggregates a batch. Everything except WallSeconds and Throughput
 // is a pure function of (seed, jobs) — bit-identical across worker counts.
 type Report struct {
-	Jobs []JobResult
+	Jobs []JobResult `json:"jobs"`
 
-	Trials   int // completed trials across all jobs
-	Failed   int // jobs that stopped on an error
-	Skipped  int // jobs cancelled before starting
-	Degraded int // jobs that returned a degraded result
-	Retries  int // trial re-runs across all jobs
+	Trials   int `json:"trials"`             // completed trials across all jobs
+	Failed   int `json:"failed,omitempty"`   // jobs that stopped on an error
+	Skipped  int `json:"skipped,omitempty"`  // jobs cancelled before starting
+	Degraded int `json:"degraded,omitempty"` // jobs that returned a degraded result
+	Retries  int `json:"retries,omitempty"`  // trial re-runs across all jobs
 
 	// Accuracy of all completed trials: mean and quantiles of |n̂−n|/n.
-	MeanAbsErr float64
-	P50AbsErr  float64
-	P90AbsErr  float64
-	P99AbsErr  float64
-	MaxAbsErr  float64
+	MeanAbsErr float64 `json:"meanAbsErr"`
+	P50AbsErr  float64 `json:"p50AbsErr"`
+	P90AbsErr  float64 `json:"p90AbsErr"`
+	P99AbsErr  float64 `json:"p99AbsErr"`
+	MaxAbsErr  float64 `json:"maxAbsErr"`
 
 	// AirSeconds is the total simulated air time; WallSeconds the real
 	// time Run took; Throughput the completed trials per wall second.
-	AirSeconds  float64
-	WallSeconds float64
-	Throughput  float64
+	AirSeconds  float64 `json:"airSeconds"`
+	WallSeconds float64 `json:"wallSeconds"`
+	Throughput  float64 `json:"throughput"`
 
 	// SchedRounds is the number of protocol rounds the interleaving
 	// scheduler executed across the batch (0 in pooled mode).
-	SchedRounds int
+	SchedRounds int `json:"schedRounds,omitempty"`
 }
 
 // Config tunes a Run.
@@ -144,7 +167,20 @@ type Config struct {
 	// counts as a failed attempt and is retried like any other when
 	// Job.Retries allows. Incompatible with Interleave, whose scheduler
 	// already cuts the whole batch at round granularity via Run's context.
+	//
+	// Deprecated: prefer per-job rfidest.WithTimeout via Job.Options,
+	// which works in both pooled and interleaved modes.
 	TrialTimeout time.Duration
+	// OnJobDone, when non-nil, is invoked once per job as soon as its
+	// JobResult is final — the batch submission hook the serving layer's
+	// micro-batcher uses to answer each coalesced request without waiting
+	// for the whole Report. In pooled mode it runs on the worker goroutine
+	// that finished the job (so it may be called concurrently and must be
+	// fast and thread-safe); in interleaved mode it runs on the scheduler
+	// goroutine, in job-index order, after the schedule completes. Skipped
+	// jobs (cancellation before start) are reported too. The callback sees
+	// the result before batch summarization; it must not mutate it.
+	OnJobDone func(JobResult)
 	// Interleave selects the scheduler-backed batch mode: instead of a
 	// worker pool running each trial to completion, a single deterministic
 	// round scheduler (internal/sched) advances every job one protocol
@@ -199,7 +235,11 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Report, error) {
 		err = ctx.Err()
 	} else {
 		results, err = Map(ctx, cfg.Workers, len(jobs), func(i int) JobResult {
-			return runJob(ctx, cfg, i, jobs[i])
+			r := runJob(ctx, cfg, i, jobs[i])
+			if cfg.OnJobDone != nil {
+				cfg.OnJobDone(r)
+			}
+			return r
 		})
 	}
 	wall := time.Since(start).Seconds() //lint:allow detrand wall-clock throughput reporting; feeds only WallSeconds/Throughput, never results
@@ -208,6 +248,9 @@ func Run(ctx context.Context, cfg Config, jobs []Job) (*Report, error) {
 	for i := range results {
 		if results[i].Job.System == nil {
 			results[i] = JobResult{Job: jobs[i], Index: i, FailedAt: -1, Skipped: true, Transmissions: -1}
+			if cfg.OnJobDone != nil {
+				cfg.OnJobDone(results[i])
+			}
 		}
 	}
 	rep := summarize(results)
@@ -254,6 +297,7 @@ func runJob(ctx context.Context, cfg Config, index int, job Job) JobResult {
 				break
 			}
 			res.Err = err
+			res.Failure = err.Error()
 			res.FailedAt = t
 			break
 		}
@@ -308,11 +352,12 @@ func runTrial(ctx context.Context, cfg Config, index int, job Job, t int, observ
 		if cfg.TrialTimeout > 0 {
 			tctx, cancel = context.WithTimeout(ctx, cfg.TrialTimeout)
 		}
-		est, err := job.System.Run(tctx,
+		opts := append([]rfidest.Option{
 			rfidest.WithEstimator(job.Estimator),
 			rfidest.WithAccuracy(job.Epsilon, job.Delta),
-			rfidest.WithSalt(salt),
-			rfidest.WithObserver(observer))
+			rfidest.WithSeedSalt(salt),
+			rfidest.WithObserver(observer)}, job.Options...)
+		est, err := job.System.Run(tctx, opts...)
 		if cancel != nil {
 			cancel()
 		}

@@ -30,6 +30,9 @@ func runInterleaved(ctx context.Context, cfg Config, jobs []Job) ([]JobResult, i
 	for i, r := range runners {
 		rounds += outcome[i].Rounds
 		results[i] = r.finalize(ctx)
+		if cfg.OnJobDone != nil {
+			cfg.OnJobDone(results[i])
+		}
 	}
 	return results, rounds
 }
@@ -90,11 +93,12 @@ func (j *jobRunner) Step(ctx context.Context) (bool, error) {
 		if j.attempt > 0 {
 			salt = xrand.Combine(j.cfg.Seed, uint64(j.index), uint64(j.t), uint64(j.attempt))
 		}
-		rs, err := j.job.System.StartRun(
+		opts := append([]rfidest.Option{
 			rfidest.WithEstimator(j.job.Estimator),
 			rfidest.WithAccuracy(j.job.Epsilon, j.job.Delta),
-			rfidest.WithSalt(salt),
-			rfidest.WithObserver(j.observer))
+			rfidest.WithSeedSalt(salt),
+			rfidest.WithObserver(j.observer)}, j.job.Options...)
+		rs, err := j.job.System.StartRun(opts...)
 		if err != nil {
 			return j.trialDone(ctx, rfidest.Estimate{}, err), nil
 		}
@@ -138,6 +142,7 @@ func (j *jobRunner) trialDone(ctx context.Context, est rfidest.Estimate, err err
 			return j.finish()
 		}
 		j.res.Err = err
+		j.res.Failure = err.Error()
 		j.res.FailedAt = j.t
 		return j.finish()
 	}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+
+	"rfidest/internal/obs"
+)
+
+// admission is the two-stage gate in front of the work endpoints: up to
+// maxInFlight requests execute, up to queueDepth more wait for a slot, and
+// anything beyond is refused immediately with ErrOverloaded — load past
+// the queue sheds instead of stacking goroutines until the deadline storm.
+//
+// Both stages are plain buffered channels, so the gate is lock-free and a
+// waiter parked on the slot channel unblocks in FIFO-ish channel order.
+type admission struct {
+	slots chan struct{} // execution permits
+	queue chan struct{} // waiting permits
+	reg   *obs.RequestRegistry
+}
+
+func newAdmission(maxInFlight, queueDepth int, reg *obs.RequestRegistry) *admission {
+	return &admission{
+		slots: make(chan struct{}, maxInFlight),
+		queue: make(chan struct{}, queueDepth),
+		reg:   reg,
+	}
+}
+
+// acquire obtains an execution slot, waiting in the bounded queue if none
+// is free. It returns the release func on success; ErrOverloaded when both
+// the slots and the queue are full; ctx.Err() if the caller's deadline
+// expires while queued.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	// Fast path: a free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		a.reg.InflightAdd(1)
+		return a.release, nil
+	default:
+	}
+	// Slow path: take a waiting permit or shed.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.reg.Rejected()
+		return nil, ErrOverloaded
+	}
+	a.reg.QueueAdd(1)
+	defer func() {
+		<-a.queue
+		a.reg.QueueAdd(-1)
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		a.reg.InflightAdd(1)
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	<-a.slots
+	a.reg.InflightAdd(-1)
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rfidest/internal/obs"
+)
+
+// TestAdmissionShed pins the two-stage gate exactly: one slot executes,
+// one waiter queues, the next caller sheds with ErrOverloaded, and a
+// release hands the slot to the queued waiter.
+func TestAdmissionShed(t *testing.T) {
+	reg := obs.NewRequestRegistry()
+	a := newAdmission(1, 1, reg)
+	ctx := context.Background()
+
+	release, err := a.acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type grant struct {
+		release func()
+		err     error
+	}
+	queued := make(chan grant, 1)
+	go func() {
+		r, err := a.acquire(ctx)
+		queued <- grant{r, err}
+	}()
+	// Wait for the second caller to take the waiting permit.
+	for i := 0; len(a.queue) == 0; i++ {
+		if i > 1000 {
+			t.Fatal("second acquire never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := a.acquire(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third acquire: err = %v, want ErrOverloaded", err)
+	}
+	if s := reg.Snapshot(); s.Rejected != 1 || s.Inflight != 1 || s.Queued != 1 {
+		t.Errorf("gauges after shed: %+v", s)
+	}
+
+	release()
+	g := <-queued
+	if g.err != nil {
+		t.Fatalf("queued acquire failed after release: %v", g.err)
+	}
+	g.release()
+	if s := reg.Snapshot(); s.Inflight != 0 || s.Queued != 0 {
+		t.Errorf("gauges after drain: %+v", s)
+	}
+}
+
+// TestAdmissionQueuedDeadline: a queued waiter gives up with ctx.Err()
+// when its deadline expires, returning its waiting permit.
+func TestAdmissionQueuedDeadline(t *testing.T) {
+	a := newAdmission(1, 1, obs.NewRequestRegistry())
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := a.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire: err = %v, want DeadlineExceeded", err)
+	}
+	if len(a.queue) != 0 {
+		t.Error("abandoned waiter did not return its queue permit")
+	}
+}
+
+// TestPanicIsolation: a panicking handler answers 500 with an error body,
+// the panic counter moves, and the middleware keeps serving afterwards.
+func TestPanicIsolation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := New(ctx, Config{})
+	var logged []RequestLog
+	s.cfg.LogRequest = func(l RequestLog) { logged = append(logged, l) }
+	h := s.instrument("/boom", false, func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "kaboom") {
+		t.Errorf("error body does not carry the panic: %s", rec.Body.String())
+	}
+	if got := s.req.Snapshot().Panics; got != 1 {
+		t.Errorf("panic counter = %d, want 1", got)
+	}
+	if len(logged) != 1 || !logged[0].Panic || logged[0].Status != http.StatusInternalServerError {
+		t.Errorf("panic was not logged: %+v", logged)
+	}
+	// The middleware survives: the same wrapped route keeps answering.
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, httptest.NewRequest("GET", "/boom", nil))
+	if got := s.req.Snapshot().Panics; got != 2 {
+		t.Errorf("second panic not isolated: counter = %d", got)
+	}
+}

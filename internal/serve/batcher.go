@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"rfidest"
+	"rfidest/internal/fleet"
+	"rfidest/internal/obs"
+)
+
+// batcher coalesces single-estimate requests into fleet batches: the first
+// request to arrive opens a window (time.NewTimer — wall-clock timers are
+// fine, only wall-clock *reads* would break determinism), requests landing
+// inside it accumulate, and when the window closes or the batch fills the
+// group runs as one fleet.Run. Every request rides as its own job pinned
+// to its own session via rfidest.WithSeedSalt, so a coalesced estimate is
+// bit-identical to a solo one — batching trades a bounded latency window
+// for fleet-level throughput, never accuracy.
+//
+// Each request is answered individually through fleet.Config.OnJobDone the
+// moment its job folds; nobody waits for the whole report.
+type batcher struct {
+	base       context.Context // estimation root; cancelled on hard shutdown
+	window     time.Duration
+	maxSize    int
+	seed       uint64
+	workers    int
+	interleave bool
+	observer   obs.Observer
+
+	submitCh chan *pendingEstimate
+	stopCh   chan struct{}  // closed by close(); collector flushes and exits
+	doneCh   chan struct{}  // closed when the collector has exited
+	flushes  sync.WaitGroup // in-flight fleet.Run calls
+	stopOnce sync.Once
+}
+
+// pendingEstimate is one parked request: its job and the buffered answer
+// channel (capacity 1, so a flush never blocks on an abandoned waiter).
+type pendingEstimate struct {
+	job  fleet.Job
+	resp chan jobAnswer
+}
+
+type jobAnswer struct {
+	est     rfidest.Estimate
+	err     error
+	skipped bool
+}
+
+func newBatcher(base context.Context, window time.Duration, maxSize int, seed uint64, workers int, interleave bool, observer obs.Observer) *batcher {
+	b := &batcher{
+		base:       base,
+		window:     window,
+		maxSize:    maxSize,
+		seed:       seed,
+		workers:    workers,
+		interleave: interleave,
+		observer:   observer,
+		submitCh:   make(chan *pendingEstimate),
+		stopCh:     make(chan struct{}),
+		doneCh:     make(chan struct{}),
+	}
+	go b.collect()
+	return b
+}
+
+// submit parks the request until its batch answers it. After the job is
+// accepted into a window the estimation always runs to completion (bounded
+// by rounds) even if ctx expires first — the caller just stops waiting.
+func (b *batcher) submit(ctx context.Context, job fleet.Job) (rfidest.Estimate, error) {
+	p := &pendingEstimate{job: job, resp: make(chan jobAnswer, 1)}
+	select {
+	case b.submitCh <- p:
+	case <-b.stopCh:
+		return rfidest.Estimate{}, ErrShuttingDown
+	case <-ctx.Done():
+		return rfidest.Estimate{}, ctx.Err()
+	}
+	select {
+	case a := <-p.resp:
+		if a.skipped {
+			return rfidest.Estimate{}, ErrShuttingDown
+		}
+		return a.est, a.err
+	case <-ctx.Done():
+		return rfidest.Estimate{}, ctx.Err()
+	}
+}
+
+// collect is the single window-keeping goroutine. Running flushes are
+// handed off so a slow batch never blocks the next window from opening.
+func (b *batcher) collect() {
+	defer close(b.doneCh)
+	var (
+		batch  []*pendingEstimate
+		timer  *time.Timer
+		timerC <-chan time.Time
+	)
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timerC = nil, nil
+		}
+		if len(batch) == 0 {
+			return
+		}
+		group := batch
+		batch = nil
+		b.flushes.Add(1)
+		go b.flush(group)
+	}
+	for {
+		select {
+		case p := <-b.submitCh:
+			batch = append(batch, p)
+			if len(batch) >= b.maxSize {
+				flush()
+				continue
+			}
+			if timer == nil {
+				timer = time.NewTimer(b.window)
+				timerC = timer.C
+			}
+		case <-timerC:
+			timer, timerC = nil, nil
+			flush()
+		case <-b.stopCh:
+			flush() // the final window runs; shutdown waits on b.flushes
+			return
+		case <-b.base.Done():
+			flush() // jobs will fold as skipped/cancelled under the dead ctx
+			return
+		}
+	}
+}
+
+// flush runs one window's group as a fleet batch and answers each request
+// as its job folds.
+func (b *batcher) flush(group []*pendingEstimate) {
+	defer b.flushes.Done()
+	jobs := make([]fleet.Job, len(group))
+	for i, p := range group {
+		jobs[i] = p.job
+	}
+	rep, err := fleet.Run(b.base, fleet.Config{
+		Seed:       b.seed,
+		Workers:    b.workers,
+		Interleave: b.interleave,
+		Observer:   b.observer,
+		OnJobDone: func(r fleet.JobResult) {
+			a := jobAnswer{err: r.Err, skipped: r.Skipped}
+			if len(r.Estimates) > 0 {
+				a.est = r.Estimates[0]
+			}
+			group[r.Index].resp <- a
+		},
+	}, jobs)
+	if rep == nil && err != nil {
+		// Batch-level validation failure: no job ran, no hook fired —
+		// unreachable for handler-built jobs, but never strand a waiter.
+		for _, p := range group {
+			p.resp <- jobAnswer{err: err}
+		}
+	}
+}
+
+// close stops intake. Idempotent; drain() waits for the work to land.
+func (b *batcher) close() {
+	b.stopOnce.Do(func() { close(b.stopCh) })
+}
+
+// drain blocks until the collector has exited and every flushed batch has
+// finished. Call close() first.
+func (b *batcher) drain() {
+	<-b.doneCh
+	b.flushes.Wait()
+}

@@ -1,0 +1,47 @@
+// Package serve is the network serving layer: an HTTP/JSON front over the
+// estimation stack, built on net/http only.
+//
+// Endpoints:
+//
+//	POST /v1/estimate  one (system, estimator, ε, δ, salt) estimation
+//	POST /v1/batch     a fleet batch (pooled or interleaved scheduling)
+//	GET  /v1/metrics   estimation + request metrics (text or JSON)
+//	GET  /healthz      liveness (503 while draining)
+//
+// The layer adds serving concerns without touching estimation semantics:
+//
+//   - Determinism is preserved end to end. A request may pin its session
+//     salt; requests that do not are assigned one derived from the server
+//     seed and an admission sequence number, and the assigned salt is
+//     echoed in the response so any result can be replayed bit-identically
+//     — over HTTP or with an in-process Run. No wall clock or process
+//     randomness enters the estimation path; the only wall-clock reads are
+//     an injected clock used for latency metrics.
+//
+//   - Admission control bounds the work in flight: MaxInFlight requests
+//     execute, QueueDepth more may wait, and everything beyond that is
+//     refused immediately with 429 and a Retry-After hint, so overload
+//     degrades by shedding rather than queue collapse.
+//
+//   - A micro-batcher coalesces concurrent single-estimate requests into
+//     one fleet batch per BatchWindow. Each request rides as its own
+//     fleet.Job carrying rfidest.WithSeedSalt, which pins the trial to the
+//     request's session — a coalesced run is bit-identical to a solo one,
+//     so batching is purely a throughput decision. Answers are delivered
+//     per job through fleet.Config.OnJobDone as they finish.
+//
+//   - Failures map onto the transport: unknown estimators and malformed
+//     specs are 400 (rfidest.ErrUnknownEstimator is detected with
+//     errors.Is), admission overflow is 429, deadline expiry is 504,
+//     draining is 503, and handler panics are isolated to 500 responses
+//     and counted, never taking the process down.
+//
+//   - Shutdown drains: intake stops (work endpoints return 503, /healthz
+//     goes unhealthy), in-flight sessions run to completion — every
+//     session is bounded in rounds — and if the caller's deadline expires
+//     first the base context is cancelled, which stops sessions at their
+//     next round boundary.
+//
+// The package is wired into a process by cmd/rfidserved and load-tested by
+// cmd/rfidload.
+package serve

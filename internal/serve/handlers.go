@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rfidest"
+	"rfidest/internal/fleet"
+	"rfidest/internal/obs"
+)
+
+// Route labels used for metrics and logging.
+const (
+	routeEstimate = "/v1/estimate"
+	routeBatch    = "/v1/batch"
+	routeMetrics  = "/v1/metrics"
+	routeHealthz  = "/healthz"
+)
+
+func validateAccuracy(epsilon, delta float64) error {
+	if !(epsilon > 0 && epsilon < 1) {
+		return fmt.Errorf("epsilon must be in (0, 1), got %v", epsilon)
+	}
+	if !(delta > 0 && delta < 1) {
+		return fmt.Errorf("delta must be in (0, 1), got %v", delta)
+	}
+	return nil
+}
+
+// requestTimeout resolves a request's TimeoutMs against the server
+// default. Negative is a validation error; 0 means "server default".
+func (s *Server) requestTimeout(timeoutMs int) (time.Duration, error) {
+	if timeoutMs < 0 {
+		return 0, fmt.Errorf("timeoutMs must be non-negative, got %d", timeoutMs)
+	}
+	if timeoutMs == 0 {
+		return s.cfg.DefaultTimeout, nil
+	}
+	return time.Duration(timeoutMs) * time.Millisecond, nil
+}
+
+// handleEstimate answers POST /v1/estimate: validate, admit, run (through
+// the micro-batcher unless the request opts out), respond.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if err := req.System.validate(s.cfg.MaxSystemN); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := validateAccuracy(req.Epsilon, req.Delta); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	timeout, err := s.requestTimeout(req.TimeoutMs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	estimator := req.Estimator
+	if estimator == "" {
+		estimator = "BFCE"
+	}
+	salt := s.nextSalt()
+	if req.Salt != nil {
+		salt = *req.Salt
+	}
+
+	// The handler's own wait is bounded by the same deadline as the run,
+	// so an expired request stops occupying its admission slot even if
+	// its batched session is still finishing a round.
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	release, err := s.adm.acquire(ctx)
+	if err != nil {
+		s.writeAdmissionError(w, err)
+		return
+	}
+	defer release()
+
+	sys := s.systems.get(req.System)
+	var est rfidest.Estimate
+	batched := false
+	if s.bat != nil && !req.Solo {
+		jobOpts := []rfidest.Option{rfidest.WithSeedSalt(salt)}
+		if timeout > 0 {
+			jobOpts = append(jobOpts, rfidest.WithTimeout(timeout))
+		}
+		est, err = s.bat.submit(ctx, fleet.Job{
+			System:    sys,
+			Estimator: estimator,
+			Epsilon:   req.Epsilon,
+			Delta:     req.Delta,
+			Options:   jobOpts,
+		})
+		batched = err == nil
+	} else {
+		opts := []rfidest.Option{
+			rfidest.WithEstimator(estimator),
+			rfidest.WithAccuracy(req.Epsilon, req.Delta),
+			rfidest.WithSeedSalt(salt),
+			rfidest.WithObserver(s.reg),
+		}
+		if timeout > 0 {
+			opts = append(opts, rfidest.WithTimeout(timeout))
+		}
+		est, err = sys.Run(ctx, opts...)
+	}
+	if err != nil {
+		writeError(w, httpStatus(err), err.Error())
+		return
+	}
+	if batched {
+		s.req.Batched(routeEstimate)
+	}
+	writeJSON(w, http.StatusOK, EstimateResponse{
+		Estimate:  est,
+		Estimator: estimator,
+		Salt:      salt,
+		Batched:   batched,
+	})
+}
+
+// handleBatch answers POST /v1/batch: the request's jobs run as one fleet
+// batch (pooled or interleaved) under a single admission slot.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no jobs")
+		return
+	}
+	if len(req.Jobs) > s.cfg.MaxBatchJobs {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch has %d jobs, server limit is %d", len(req.Jobs), s.cfg.MaxBatchJobs))
+		return
+	}
+	timeout, err := s.requestTimeout(req.TimeoutMs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, "workers must be non-negative")
+		return
+	}
+	jobs := make([]fleet.Job, len(req.Jobs))
+	for i, bj := range req.Jobs {
+		if err := bj.System.validate(s.cfg.MaxSystemN); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("job %d: %v", i, err))
+			return
+		}
+		if err := validateAccuracy(bj.Epsilon, bj.Delta); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("job %d: %v", i, err))
+			return
+		}
+		if bj.Trials < 0 || bj.Retries < 0 || bj.TimeoutMs < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("job %d: trials, retries and timeoutMs must be non-negative", i))
+			return
+		}
+		estimator := bj.Estimator
+		if estimator == "" {
+			estimator = "BFCE"
+		}
+		var opts []rfidest.Option
+		if bj.Salt != nil {
+			opts = append(opts, rfidest.WithSeedSalt(*bj.Salt))
+		}
+		if bj.TimeoutMs > 0 {
+			opts = append(opts, rfidest.WithTimeout(time.Duration(bj.TimeoutMs)*time.Millisecond))
+		}
+		jobs[i] = fleet.Job{
+			Name:      bj.Name,
+			System:    s.systems.get(bj.System),
+			Estimator: estimator,
+			Epsilon:   bj.Epsilon,
+			Delta:     bj.Delta,
+			Trials:    bj.Trials,
+			Retries:   bj.Retries,
+			Options:   opts,
+		}
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.cfg.Seed
+	}
+
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	release, err := s.adm.acquire(ctx)
+	if err != nil {
+		s.writeAdmissionError(w, err)
+		return
+	}
+	defer release()
+
+	rep, err := fleet.Run(ctx, fleet.Config{
+		Seed:       seed,
+		Workers:    req.Workers,
+		Interleave: req.Interleave,
+		Observer:   s.reg,
+	}, jobs)
+	if err != nil {
+		// A cancelled batch still carries its partial report (unstarted
+		// jobs marked skipped) next to the error.
+		writeJSON(w, httpStatus(err), BatchResponse{Report: rep, Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Report: rep})
+}
+
+// writeAdmissionError maps an acquire failure, attaching the Retry-After
+// hint on overload.
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
+	status := httpStatus(err)
+	if errors.Is(err, ErrOverloaded) {
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+	}
+	writeError(w, status, err.Error())
+}
+
+// metricsSnapshot is the JSON form of GET /v1/metrics.
+type metricsSnapshot struct {
+	Estimation obs.Snapshot        `json:"estimation"`
+	HTTP       obs.RequestSnapshot `json:"http"`
+}
+
+// handleMetrics answers GET /v1/metrics: expvar-style text by default,
+// one JSON document with ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, metricsSnapshot{
+			Estimation: s.reg.Snapshot(),
+			HTTP:       s.req.Snapshot(),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := s.reg.Snapshot().WriteText(w); err != nil {
+		return
+	}
+	s.req.Snapshot().WriteText(w) //lint:allow errdrop same dead-client write path as the line above
+}
+
+// handleHealthz answers GET /healthz: 200 while serving, 503 once
+// draining so load balancers stop routing here before shutdown completes.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,87 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rfidest/internal/serve"
+)
+
+// benchBody is the request both legs drive: a synthetic 10k-tag system
+// under BFCE(0.1, 0.1) with a pinned salt, so every request replays one
+// deterministic session and the benchmark measures serving overhead, not
+// estimation variance.
+func benchBody(b *testing.B, solo bool) []byte {
+	b.Helper()
+	salt := uint64(1)
+	body, err := json.Marshal(serve.EstimateRequest{
+		System:  serve.SystemSpec{N: 10000, Seed: 3, Synthetic: true},
+		Epsilon: 0.1, Delta: 0.1,
+		Salt: &salt,
+		Solo: solo,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+func benchServer(b *testing.B, cfg serve.Config) *httptest.Server {
+	b.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	b.Cleanup(cancel)
+	s := serve.New(ctx, cfg)
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func post(b *testing.B, client *http.Client, url string, body []byte) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkServeEstimateSolo measures one full HTTP round trip per op on
+// the solo path: transport + admission + a direct in-handler Run.
+func BenchmarkServeEstimateSolo(b *testing.B) {
+	ts := benchServer(b, serve.Config{})
+	body := benchBody(b, true)
+	url := ts.URL + "/v1/estimate"
+	client := ts.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post(b, client, url, body)
+	}
+}
+
+// BenchmarkServeEstimateBatched drives the micro-batched path from
+// parallel clients, so windows genuinely coalesce; ns/op is per answered
+// request at saturation.
+func BenchmarkServeEstimateBatched(b *testing.B) {
+	ts := benchServer(b, serve.Config{
+		BatchWindow: time.Millisecond, BatchMaxSize: 16, MaxInFlight: 64,
+	})
+	body := benchBody(b, false)
+	url := ts.URL + "/v1/estimate"
+	client := ts.Client()
+	b.SetParallelism(4) // 4 x GOMAXPROCS concurrent closed-loop clients
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			post(b, client, url, body)
+		}
+	})
+}

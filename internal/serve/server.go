@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"rfidest/internal/obs"
+	"rfidest/internal/xrand"
+)
+
+// Config tunes a Server. The zero value of every field selects a sensible
+// default (see New).
+type Config struct {
+	// Seed roots server-assigned session salts and is the default batch
+	// seed; a server restarted with the same seed assigns the same salt
+	// sequence (default 1).
+	Seed uint64
+
+	// MaxInFlight bounds concurrently executing requests (default 16);
+	// QueueDepth bounds how many more may wait for a slot (default 64).
+	// Requests beyond both are refused with 429 and a Retry-After of
+	// RetryAfterSeconds (default 1).
+	MaxInFlight       int
+	QueueDepth        int
+	RetryAfterSeconds int
+
+	// BatchWindow is how long the micro-batcher holds the first estimate
+	// request of a group open for company (default 2ms; negative disables
+	// coalescing — every request runs solo). BatchMaxSize flushes a
+	// window early once that many requests have coalesced (default 16).
+	BatchWindow  time.Duration
+	BatchMaxSize int
+	// BatchWorkers bounds the pool a coalesced batch runs on (0 means
+	// GOMAXPROCS); BatchInterleave runs coalesced batches on the
+	// deterministic round scheduler instead. Either way each request's
+	// salt pins its session, so the mode never changes results.
+	BatchWorkers    int
+	BatchInterleave bool
+
+	// DefaultTimeout bounds requests that do not set timeoutMs (default
+	// 30s; negative disables the default).
+	DefaultTimeout time.Duration
+
+	// MaxSystemN caps system.n in request specs (default 1_000_000) —
+	// building a materialized population is O(n) memory, so the cap is
+	// the server's memory guard. MaxBatchJobs caps jobs per batch
+	// (default 64). MaxBodyBytes caps request bodies (default 1MiB).
+	// SystemCacheSize caps the built-system cache (default 64).
+	MaxSystemN      int
+	MaxBatchJobs    int
+	MaxBodyBytes    int64
+	SystemCacheSize int
+
+	// Now, when non-nil, is the wall clock used for latency metrics and
+	// access logs — injected so the library itself never reads the wall
+	// clock (cmd/rfidserved passes time.Now). Nil records zero latencies.
+	Now func() time.Time
+	// LogRequest, when non-nil, receives one record per request after its
+	// response is written. It must be fast and safe for concurrent use.
+	LogRequest func(RequestLog)
+}
+
+func (c *Config) applyDefaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 16
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RetryAfterSeconds <= 0 {
+		c.RetryAfterSeconds = 1
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.BatchMaxSize <= 0 {
+		c.BatchMaxSize = 16
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.DefaultTimeout < 0 {
+		c.DefaultTimeout = 0
+	}
+	if c.MaxSystemN <= 0 {
+		c.MaxSystemN = 1_000_000
+	}
+	if c.MaxBatchJobs <= 0 {
+		c.MaxBatchJobs = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.SystemCacheSize <= 0 {
+		c.SystemCacheSize = 64
+	}
+}
+
+// Server is the HTTP estimation service. Build one with New, mount
+// Handler on an http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg Config
+
+	base   context.Context // root of all estimation work
+	cancel context.CancelFunc
+
+	reg     *obs.Registry        // estimation metrics (session/phase spans)
+	req     *obs.RequestRegistry // request metrics
+	adm     *admission
+	bat     *batcher // nil when coalescing is disabled
+	systems *systemCache
+	mux     *http.ServeMux
+
+	saltSeq  atomic.Uint64
+	draining atomic.Bool
+}
+
+// New builds a Server. ctx is the root of all estimation work: cancelling
+// it stops every in-flight session at its next round boundary (Shutdown
+// does this itself when its deadline expires).
+func New(ctx context.Context, cfg Config) *Server {
+	cfg.applyDefaults()
+	base, cancel := context.WithCancel(ctx)
+	s := &Server{
+		cfg:     cfg,
+		base:    base,
+		cancel:  cancel,
+		reg:     obs.NewRegistry(),
+		req:     obs.NewRequestRegistry(),
+		systems: newSystemCache(cfg.SystemCacheSize),
+		mux:     http.NewServeMux(),
+	}
+	s.adm = newAdmission(cfg.MaxInFlight, cfg.QueueDepth, s.req)
+	if cfg.BatchWindow > 0 {
+		s.bat = newBatcher(base, cfg.BatchWindow, cfg.BatchMaxSize,
+			cfg.Seed, cfg.BatchWorkers, cfg.BatchInterleave, s.reg)
+	}
+	s.mux.Handle("POST "+routeEstimate, s.instrument(routeEstimate, true, s.handleEstimate))
+	s.mux.Handle("POST "+routeBatch, s.instrument(routeBatch, true, s.handleBatch))
+	s.mux.Handle("GET "+routeMetrics, s.instrument(routeMetrics, false, s.handleMetrics))
+	s.mux.Handle("GET "+routeHealthz, s.instrument(routeHealthz, false, s.handleHealthz))
+	return s
+}
+
+// Handler returns the service's routes. /debug/pprof is deliberately not
+// here; cmd/rfidserved mounts it on its own mux so the library stays free
+// of profiling side effects.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the estimation metrics sink (for tests and embedders).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Requests exposes the request metrics sink (for tests and embedders).
+func (s *Server) Requests() *obs.RequestRegistry { return s.req }
+
+// nextSalt derives the session salt for a request that did not pin one:
+// a pure function of (server seed, admission sequence number), so a
+// restarted server replays the same sequence and any response can be
+// reproduced from its echoed salt.
+func (s *Server) nextSalt() uint64 {
+	return xrand.Combine(s.cfg.Seed, s.saltSeq.Add(1))
+}
+
+// Shutdown drains the server: intake stops (work endpoints answer 503,
+// /healthz goes unhealthy), the micro-batcher flushes its final window,
+// and every in-flight session runs to completion — sessions are bounded
+// in rounds, so the drain terminates on its own. If ctx expires first the
+// base context is cancelled, stopping sessions at their next round
+// boundary, and ctx.Err() is returned after the cut work lands.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.bat != nil {
+		s.bat.close()
+	}
+	idle := make(chan struct{})
+	go func() {
+		defer close(idle)
+		if s.bat != nil {
+			s.bat.drain()
+		}
+		s.adm.awaitIdle(ctx)
+	}()
+	select {
+	case <-idle:
+		s.cancel()
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-idle
+		return ctx.Err()
+	}
+}
+
+// awaitIdle blocks until no request holds an execution slot (or ctx
+// expires). Polling the slot channel keeps admission lock-free on the
+// hot path; the drain path can afford a few ticks.
+func (a *admission) awaitIdle(ctx context.Context) {
+	t := time.NewTicker(2 * time.Millisecond)
+	defer t.Stop()
+	for len(a.slots) > 0 {
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -48,10 +48,11 @@ func NewMonitor(epsilon, delta float64, fastRounds int) (*Monitor, error) {
 // Run executes the next monitoring round against sys (typically a fresh
 // System per round, reflecting the deployment's current population),
 // mirroring (*System).Run: the context is checked before every protocol
-// round (a nil ctx disables cancellation), WithSalt addresses the round's
-// session explicitly, and WithObserver attaches session spans, phase spans
-// and metrics. A cancelled round returns ctx's error and does not advance
-// the monitor's warm-start state.
+// round (a nil ctx disables cancellation), WithSeedSalt addresses the
+// round's session explicitly, WithTimeout bounds the round with a deadline,
+// and WithObserver attaches session spans, phase spans and metrics. A
+// cancelled round returns ctx's error and does not advance the monitor's
+// warm-start state.
 //
 // The monitor's protocol and accuracy are fixed at NewMonitor, so
 // WithEstimator and WithAccuracy are rejected; so is WithRetry — a
@@ -74,10 +75,22 @@ func (m *Monitor) Run(ctx context.Context, sys *System, opts ...Option) (Estimat
 	if sys == nil {
 		return Estimate{}, errors.New("rfidest: nil system")
 	}
+	if err := validateTimeout(o.timeout); err != nil {
+		return Estimate{}, err
+	}
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return Estimate{}, err
 		}
+	}
+	if o.timeout > 0 {
+		base := ctx
+		if base == nil {
+			base = context.Background() //lint:allow ctxbg WithTimeout on a nil-ctx monitor round needs a root to hang the deadline on
+		}
+		tctx, cancel := context.WithTimeout(base, o.timeout)
+		defer cancel()
+		ctx = tctx
 	}
 	open := sys.session
 	if o.hasSalt {

@@ -1,0 +1,107 @@
+package rfidest
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestWithSeedSaltAliasesWithSalt: the unified salt option and its original
+// name address the same session.
+func TestWithSeedSaltAliasesWithSalt(t *testing.T) {
+	sys := NewSystem(5000, WithSynthetic(), WithSeed(3))
+	a, err := sys.Run(nil, WithAccuracy(0.1, 0.1), WithSeedSalt(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Run(nil, WithAccuracy(0.1, 0.1), WithSalt(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("WithSeedSalt and WithSalt diverged:\n %+v\n %+v", a, b)
+	}
+}
+
+// TestWithTimeoutPassive: a generous per-run deadline never perturbs the
+// estimate — the timeout machinery is pure plumbing until it fires.
+func TestWithTimeoutPassive(t *testing.T) {
+	sys := NewSystem(5000, WithSynthetic(), WithSeed(3))
+	bare, err := sys.Run(nil, WithAccuracy(0.1, 0.1), WithSeedSalt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed, err := sys.Run(nil, WithAccuracy(0.1, 0.1), WithSeedSalt(5), WithTimeout(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare != timed {
+		t.Errorf("WithTimeout perturbed the run:\n bare  %+v\n timed %+v", bare, timed)
+	}
+}
+
+// TestWithTimeoutExpiry: an immediate deadline fails Run, a stepped run and
+// a monitor round with context.DeadlineExceeded.
+func TestWithTimeoutExpiry(t *testing.T) {
+	sys := NewSystem(5000, WithSynthetic(), WithSeed(3))
+	if _, err := sys.Run(nil, WithTimeout(time.Nanosecond)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Run under 1ns timeout: err = %v, want DeadlineExceeded", err)
+	}
+
+	rs, err := sys.StartRun(WithTimeout(time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		done, err := rs.Step(context.Background())
+		if done {
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("stepped run under 1ns timeout: err = %v, want DeadlineExceeded", err)
+			}
+			break
+		}
+		if i > 1000 {
+			t.Fatal("stepped run never hit its 1ns deadline")
+		}
+	}
+
+	mon, err := NewMonitor(0.1, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.Run(nil, sys, WithTimeout(time.Nanosecond)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("monitor round under 1ns timeout: err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestWithTimeoutNegative: a negative deadline is a validation error on
+// every entry point, not an instant expiry.
+func TestWithTimeoutNegative(t *testing.T) {
+	sys := NewSystem(100, WithSynthetic())
+	if _, err := sys.Run(nil, WithTimeout(-time.Second)); err == nil || errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Run: negative timeout returned %v, want a validation error", err)
+	}
+	if _, err := sys.StartRun(WithTimeout(-time.Second)); err == nil {
+		t.Error("StartRun accepted a negative timeout")
+	}
+	mon, err := NewMonitor(0.1, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.Run(nil, sys, WithTimeout(-time.Second)); err == nil {
+		t.Error("Monitor.Run accepted a negative timeout")
+	}
+}
+
+// TestErrUnknownEstimatorSentinel: every entry point's unknown-name error
+// unwraps to the shared sentinel the serving layer maps to HTTP 400.
+func TestErrUnknownEstimatorSentinel(t *testing.T) {
+	sys := NewSystem(100, WithSynthetic())
+	if _, err := sys.Run(nil, WithEstimator("NOPE")); !errors.Is(err, ErrUnknownEstimator) {
+		t.Errorf("Run: err = %v, want ErrUnknownEstimator", err)
+	}
+	if _, err := sys.StartRun(WithEstimator("NOPE")); !errors.Is(err, ErrUnknownEstimator) {
+		t.Errorf("StartRun: err = %v, want ErrUnknownEstimator", err)
+	}
+}

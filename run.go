@@ -6,7 +6,6 @@ import (
 
 	"rfidest/internal/channel"
 	"rfidest/internal/core"
-	"rfidest/internal/estimators"
 	"rfidest/internal/obs"
 	"rfidest/internal/stats"
 )
@@ -37,81 +36,6 @@ type MetricsSnapshot = obs.Snapshot
 // any number of concurrent runs.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
 
-// Option configures a Run call.
-type Option func(*runOptions)
-
-type runOptions struct {
-	estimator    string
-	hasEstimator bool
-	epsilon      float64
-	delta        float64
-	hasAccuracy  bool
-	salt         uint64
-	hasSalt      bool
-	observer     obs.Observer
-	retries      int
-	retryBudget  float64
-	hasRetry     bool
-}
-
-func defaultRunOptions() runOptions {
-	return runOptions{
-		estimator: "BFCE",
-		epsilon:   estimators.Default.Epsilon,
-		delta:     estimators.Default.Delta,
-		observer:  obs.Nop,
-	}
-}
-
-// WithEstimator selects the protocol to run, by registry name (see
-// Estimators). The default is "BFCE", the paper's estimator.
-func WithEstimator(name string) Option {
-	return func(o *runOptions) { o.estimator, o.hasEstimator = name, true }
-}
-
-// WithAccuracy sets the (ε, δ) requirement: P(|n̂ − n| ≤ ε·n) ≥ 1 − δ.
-// Both parameters must lie in (0, 1). The default is (0.05, 0.05), the
-// paper's evaluation setting.
-func WithAccuracy(epsilon, delta float64) Option {
-	return func(o *runOptions) { o.epsilon, o.delta, o.hasAccuracy = epsilon, delta, true }
-}
-
-// WithSalt addresses the run's session by an explicit salt instead of the
-// system's shared session counter. Equal (system, salt) pairs replay
-// bit-identical sessions no matter how many other estimations are in
-// flight — what deterministic parallel harnesses key their trials on.
-func WithSalt(salt uint64) Option {
-	return func(o *runOptions) { o.salt, o.hasSalt = salt, true }
-}
-
-// WithObserver attaches an observer to the run: session and phase spans,
-// per-frame slot counts and cost counters are reported to it as the
-// protocol executes. Observation is passive — the estimate is bit-identical
-// with and without an observer. Nil restores the zero-cost default.
-func WithObserver(o Observer) Option {
-	return func(ro *runOptions) {
-		if o == nil {
-			o = obs.Nop
-		}
-		ro.observer = o
-	}
-}
-
-// WithRetry re-runs a saturated round up to retries times, within an
-// optional simulated-air-time budget (budgetSeconds; 0 means unbounded).
-// A saturated round observed a degenerate all-idle/all-busy vector — under
-// channel faults or a mis-sized population the estimate is then a clamp
-// artifact, and a re-run with fresh frame seeds (drawn from the same
-// session stream, so the whole run stays a pure function of the session
-// salt) often recovers a usable measurement. Retries are reported through
-// Estimate.Retries and the observer's Retry/Degraded hooks; the default is
-// no retry, keeping the machinery passive.
-//
-// Both arguments must be non-negative; budgetSeconds must not be NaN.
-func WithRetry(retries int, budgetSeconds float64) Option {
-	return func(o *runOptions) { o.retries, o.retryBudget, o.hasRetry = retries, budgetSeconds, true }
-}
-
 // Run executes one estimation over the system: it opens a fresh session
 // (counter-derived, or salt-addressed under WithSalt), runs the selected
 // protocol to the accuracy requirement, and returns the estimate. With no
@@ -137,6 +61,15 @@ func (s *System) Run(ctx context.Context, opts ...Option) (Estimate, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return Estimate{}, err
+	}
+	if err := validateTimeout(o.timeout); err != nil {
+		return Estimate{}, err
+	}
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+		o.timeout = 0 // applied here; the RunSession must not arm a second timer
 	}
 	open := s.session
 	if o.hasSalt {
@@ -226,6 +159,14 @@ func (s *System) RunBFCEDetail(ctx context.Context, opts ...Option) (BFCEDetail,
 	}
 	if err := validateRetry(o.retries, o.retryBudget); err != nil {
 		return BFCEDetail{}, err
+	}
+	if err := validateTimeout(o.timeout); err != nil {
+		return BFCEDetail{}, err
+	}
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
 	}
 	est, err := core.New(core.Config{Epsilon: o.epsilon, Delta: o.delta})
 	if err != nil {

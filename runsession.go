@@ -40,6 +40,11 @@ type RunSession struct {
 	total        estimators.Result
 	rounds       int
 
+	// WithTimeout state: the deadline context is armed at the first Step
+	// (derived from that Step's ctx) and its timer released at finish.
+	tctx    context.Context
+	tcancel context.CancelFunc
+
 	finished bool
 	out      Estimate
 	err      error
@@ -66,14 +71,17 @@ func (s *System) StartRun(opts ...Option) (*RunSession, error) {
 // then session open) is load-bearing — the session counter must not
 // advance for invalid calls.
 func (s *System) startRun(open func() *channel.Reader, o runOptions) (*RunSession, error) {
-	est := estimators.New(o.estimator)
-	if est == nil {
-		return nil, fmt.Errorf("rfidest: unknown estimator %q (known: %v)", o.estimator, Estimators())
+	est, err := estimators.New(o.estimator)
+	if err != nil {
+		return nil, fmt.Errorf("rfidest: %w", err)
 	}
 	if err := validateAccuracy(o.epsilon, o.delta); err != nil {
 		return nil, err
 	}
 	if err := validateRetry(o.retries, o.retryBudget); err != nil {
+		return nil, err
+	}
+	if err := validateTimeout(o.timeout); err != nil {
 		return nil, err
 	}
 	acc := estimators.Accuracy{Epsilon: o.epsilon, Delta: o.delta}
@@ -115,6 +123,16 @@ func (rs *RunSession) Done() bool { return rs.finished }
 func (rs *RunSession) Step(ctx context.Context) (done bool, err error) {
 	if rs.finished {
 		return true, rs.err
+	}
+	if rs.o.timeout > 0 {
+		if rs.tcancel == nil {
+			base := ctx
+			if base == nil {
+				base = context.Background() //lint:allow ctxbg WithTimeout on a nil-ctx Step needs a root to hang the deadline on
+			}
+			rs.tctx, rs.tcancel = context.WithTimeout(base, rs.o.timeout)
+		}
+		ctx = rs.tctx
 	}
 	done, err = channel.StepRound(ctx, rs.r, rs.st)
 	if err != nil {
@@ -179,6 +197,9 @@ func (rs *RunSession) Step(ctx context.Context) (done bool, err error) {
 // a zero result and the error flag, as the instrumented path always did)
 // and restoring the session observer.
 func (rs *RunSession) fail(err error) error {
+	if rs.tcancel != nil {
+		rs.tcancel()
+	}
 	if rs.instrumented() {
 		rs.o.observer.SessionClose(obs.SessionStats{
 			Estimator:        rs.name,
@@ -196,6 +217,9 @@ func (rs *RunSession) fail(err error) error {
 // forwarding and the estimation-error metric, in the exact order of the
 // pre-stepper execution path.
 func (rs *RunSession) settle() {
+	if rs.tcancel != nil {
+		rs.tcancel()
+	}
 	if rs.o.retries > 0 && rs.total.Saturated {
 		rs.o.observer.Degraded(rs.name)
 	}

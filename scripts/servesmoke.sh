@@ -1,0 +1,67 @@
+#!/bin/sh
+# servesmoke.sh — CI smoke for the serving layer.
+#
+# Boots rfidserved on an ephemeral port, drives a short rfidload burst in
+# fail-on-error mode (any non-2xx fails the smoke), scrapes /v1/metrics
+# and /healthz, then SIGTERMs the server and requires a clean drain.
+#
+# Usage: scripts/servesmoke.sh [duration]   (default duration: 2s)
+set -eu
+
+duration=${1:-2s}
+workdir=$(mktemp -d)
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/rfidserved" ./cmd/rfidserved
+go build -o "$workdir/rfidload" ./cmd/rfidload
+
+"$workdir/rfidserved" -addr 127.0.0.1:0 -quiet \
+    >"$workdir/served.out" 2>"$workdir/served.err" &
+server_pid=$!
+
+# First stdout line is the bound address.
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(head -n 1 "$workdir/served.out" 2>/dev/null || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "servesmoke: server never printed its address" >&2
+    cat "$workdir/served.err" >&2
+    exit 1
+fi
+echo "servesmoke: serving on $addr"
+
+curl -fsS "http://$addr/healthz" >/dev/null
+
+"$workdir/rfidload" -url "http://$addr" -c 8 -duration "$duration" -fail-on-error
+
+metrics=$(curl -fsS "http://$addr/v1/metrics")
+echo "$metrics" | grep -q '^obs\.sessions ' || {
+    echo "servesmoke: /v1/metrics missing estimation section" >&2
+    exit 1
+}
+echo "$metrics" | grep -q '^obs\.http\.route\./v1/estimate\.requests ' || {
+    echo "servesmoke: /v1/metrics missing request section" >&2
+    exit 1
+}
+rejected=$(echo "$metrics" | awk '/^obs\.http\.rejected /{print $2}')
+echo "servesmoke: $(echo "$metrics" | awk '/^obs\.sessions /{print $2}') sessions served, $rejected rejected"
+curl -fsS "http://$addr/v1/metrics?format=json" >/dev/null
+
+kill -TERM "$server_pid"
+for _ in $(seq 1 100); do
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+    echo "servesmoke: server did not drain within 10s" >&2
+    exit 1
+fi
+grep -q 'rfidserved: stopped' "$workdir/served.err" || {
+    echo "servesmoke: no clean-stop marker in server log" >&2
+    cat "$workdir/served.err" >&2
+    exit 1
+}
+echo "servesmoke: PASS"

@@ -1,0 +1,115 @@
+package rfidest
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestEstimateWireFormat pins the JSON rendering of Estimate — the wire
+// schema the serving layer freezes. A failure here is a wire-format break:
+// clients parse these exact keys.
+func TestEstimateWireFormat(t *testing.T) {
+	est := Estimate{
+		N:                21121.473455566364,
+		Seconds:          0.19091407999999999,
+		Slots:            9248,
+		ReaderBits:       384,
+		Rounds:           1,
+		Guarded:          true,
+		TagTransmissions: 674,
+		Saturated:        true,
+		Retries:          2,
+	}
+	got, err := json.Marshal(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"n":21121.473455566364,"seconds":0.19091407999999999,"slots":9248,` +
+		`"readerBits":384,"rounds":1,"guarded":true,"tagTransmissions":674,` +
+		`"saturated":true,"retries":2}`
+	if string(got) != want {
+		t.Errorf("Estimate wire format drifted:\n got  %s\n want %s", got, want)
+	}
+
+	var back Estimate
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != est {
+		t.Errorf("Estimate did not round-trip:\n got  %+v\n want %+v", back, est)
+	}
+}
+
+// TestEstimateWireOmissions: fields whose zero value carries no information
+// (Saturated, Retries) are omitted; fields where zero is meaningful
+// (Guarded false, TagTransmissions 0 vs the -1 unmetered sentinel) are not.
+func TestEstimateWireOmissions(t *testing.T) {
+	got, err := json.Marshal(Estimate{TagTransmissions: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{"saturated", "retries"} {
+		if strings.Contains(string(got), absent) {
+			t.Errorf("zero %q should be omitted from %s", absent, got)
+		}
+	}
+	for _, present := range []string{`"guarded":false`, `"tagTransmissions":-1`, `"n":0`} {
+		if !strings.Contains(string(got), present) {
+			t.Errorf("wire form %s should contain %s", got, present)
+		}
+	}
+}
+
+// TestBFCEDetailWireFormat pins the BFCEDetail rendering and round-trips a
+// live run through it.
+func TestBFCEDetailWireFormat(t *testing.T) {
+	det := BFCEDetail{
+		Estimate:    Estimate{N: 1, Seconds: 2, Slots: 3, ReaderBits: 4, Rounds: 5, Guarded: true, TagTransmissions: 6},
+		Rough:       7.5,
+		LowerBound:  8.5,
+		ProbePn:     9,
+		OptimalPn:   10,
+		ProbeRounds: 11,
+		Feasible:    true,
+	}
+	got, err := json.Marshal(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"estimate":{"n":1,"seconds":2,"slots":3,"readerBits":4,"rounds":5,` +
+		`"guarded":true,"tagTransmissions":6},"rough":7.5,"lowerBound":8.5,` +
+		`"probePn":9,"optimalPn":10,"probeRounds":11,"feasible":true}`
+	if string(got) != want {
+		t.Errorf("BFCEDetail wire format drifted:\n got  %s\n want %s", got, want)
+	}
+	var back BFCEDetail
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != det {
+		t.Errorf("BFCEDetail did not round-trip:\n got  %+v\n want %+v", back, det)
+	}
+}
+
+// TestEstimateJSONRoundTripLive runs a real estimation and requires the
+// float fields to survive Marshal→Unmarshal bit-exactly (encoding/json
+// renders float64 at full round-trip precision).
+func TestEstimateJSONRoundTripLive(t *testing.T) {
+	sys := NewSystem(20000, WithSeed(42))
+	est, err := sys.Run(nil, WithAccuracy(0.1, 0.1), WithSeedSalt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Estimate
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != est {
+		t.Errorf("live Estimate did not round-trip bit-identically:\n got  %+v\n want %+v", back, est)
+	}
+}
