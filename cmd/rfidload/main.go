@@ -1,38 +1,53 @@
 // Command rfidload is a closed-loop load generator for rfidserved: -c
 // workers each keep one request in flight against POST /v1/estimate,
-// optionally paced to a global -rps target, for -duration. It reports
-// throughput, status counts and a latency histogram, and exits nonzero
-// under -fail-on-error if any request failed — which makes it both the
-// bench baseline driver and the CI smoke check:
+// optionally paced to a global -rps target, for -duration. Requests go
+// through the resilient client (internal/client): capped exponential
+// backoff with full jitter, Retry-After honored on 429/503 sheds, and
+// optional hedging for pinned-salt runs. It reports throughput, status
+// counts, retry/shed/hedge totals and a latency histogram, and exits
+// nonzero under -fail-on-error if any request failed outright — sheds the
+// server asked the client to back off from are reported separately, not
+// counted as failures:
 //
 //	rfidload -url http://127.0.0.1:8080 -c 8 -duration 5s
 //	rfidload -url "$addr" -c 32 -rps 200 -duration 10s -json
+//	rfidload -url "$addr" -salt 7 -hedge 20ms -chaos 0.3 -duration 5s
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"sort"
 	"sync"
 	"time"
+
+	"rfidest/internal/chaoshttp"
+	"rfidest/internal/client"
+	"rfidest/internal/serve"
 )
 
 type result struct {
-	status  int // -1 on transport error
+	status  int // -1 on transport error, HTTP status otherwise
+	shed    bool
 	seconds float64
 }
 
 type report struct {
 	Requests     int            `json:"requests"`
-	Errors       int            `json:"errors"` // non-2xx + transport failures
+	Errors       int            `json:"errors"` // failures that are not sheds
+	Sheds        int            `json:"sheds"`  // terminal 429/503 after retries
 	Seconds      float64        `json:"seconds"`
 	Throughput   float64        `json:"throughput"` // requests per second
 	ByStatus     map[string]int `json:"byStatus"`
+	Retries      int64          `json:"retries"`
+	ShedReplies  int64          `json:"shedReplies"` // 429/503 replies seen (incl. retried ones)
+	Hedges       int64          `json:"hedges"`
+	HedgeWins    int64          `json:"hedgeWins"`
 	LatencyMsP50 float64        `json:"latencyMsP50"`
 	LatencyMsP90 float64        `json:"latencyMsP90"`
 	LatencyMsP99 float64        `json:"latencyMsP99"`
@@ -51,23 +66,43 @@ func main() {
 		eps       = flag.Float64("eps", 0.1, "epsilon")
 		delta     = flag.Float64("delta", 0.1, "delta")
 		solo      = flag.Bool("solo", false, "bypass the server's micro-batcher")
+		salt      = flag.Uint64("salt", 0, "pin every request to this session salt (0 = server assigns per request)")
+		retries   = flag.Int("retries", 3, "extra attempts per request on transient failures (-1 disables)")
+		hedge     = flag.Duration("hedge", 0, "hedge pinned-salt requests after this delay (0 disables; needs -salt)")
+		seed      = flag.Uint64("seed", 1, "client seed: roots the backoff jitter stream")
+		chaos     = flag.Float64("chaos", 0, "client-side fault injection severity in [0,1] (0 = clean wire)")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "seed for the client-side fault schedule")
 		jsonOut   = flag.Bool("json", false, "print the report as JSON")
-		failOnErr = flag.Bool("fail-on-error", false, "exit 1 if any request failed (CI smoke mode)")
+		failOnErr = flag.Bool("fail-on-error", false, "exit 1 if any request failed (CI smoke mode; sheds don't fail)")
 	)
 	flag.Parse()
 
-	body, err := json.Marshal(map[string]any{
-		"system":    map[string]any{"n": *n, "seed": 3, "synthetic": *synthetic},
-		"estimator": *estimator,
-		"epsilon":   *eps,
-		"delta":     *delta,
-		"solo":      *solo,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "rfidload: %v\n", err)
-		os.Exit(1)
+	req := serve.EstimateRequest{
+		System:    serve.SystemSpec{N: *n, Seed: 3, Synthetic: *synthetic},
+		Estimator: *estimator,
+		Epsilon:   *eps,
+		Delta:     *delta,
+		Solo:      *solo,
 	}
-	url := *baseURL + "/v1/estimate"
+	if *salt != 0 {
+		req.Salt = salt
+	}
+	if *hedge > 0 && *salt == 0 {
+		fmt.Fprintln(os.Stderr, "rfidload: -hedge needs -salt (an unpinned request is a different session per leg)")
+		os.Exit(2)
+	}
+
+	httpClient := &http.Client{}
+	if *chaos > 0 {
+		httpClient.Transport = chaoshttp.Transport(*chaosSeed, chaoshttp.Severity(*chaos), nil)
+	}
+	c := client.New(client.Config{
+		BaseURL:    *baseURL,
+		HTTP:       httpClient,
+		Seed:       *seed,
+		Retries:    *retries,
+		HedgeDelay: *hedge,
+	})
 
 	// Optional open-loop pacing: a token bucket the workers drain. With
 	// rps=0 the bucket is nil and each worker fires as soon as its
@@ -97,7 +132,6 @@ func main() {
 		mu      sync.Mutex
 		results []result
 	)
-	client := &http.Client{}
 	start := time.Now()
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
@@ -121,13 +155,16 @@ func main() {
 					}
 				}
 				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-				r := result{status: -1, seconds: time.Since(t0).Seconds()}
-				if err == nil {
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
-					r.status = resp.StatusCode
-					r.seconds = time.Since(t0).Seconds()
+				_, err := c.Estimate(context.Background(), req)
+				r := result{status: 200, seconds: time.Since(t0).Seconds()}
+				if err != nil {
+					r.status = -1
+					var serr *client.StatusError
+					if errors.As(err, &serr) {
+						r.status = serr.Status
+						r.shed = serr.Status == http.StatusTooManyRequests ||
+							serr.Status == http.StatusServiceUnavailable
+					}
 				}
 				local = append(local, r)
 			}
@@ -136,17 +173,19 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
 
-	rep := summarize(results, elapsed)
+	rep := summarize(results, elapsed, c.Stats())
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		enc.Encode(rep)
 	} else {
-		fmt.Printf("requests   %d (%d errors)\n", rep.Requests, rep.Errors)
+		fmt.Printf("requests   %d (%d errors, %d sheds)\n", rep.Requests, rep.Errors, rep.Sheds)
 		fmt.Printf("throughput %.1f req/s over %.2fs\n", rep.Throughput, rep.Seconds)
 		for code, count := range rep.ByStatus {
 			fmt.Printf("  status %s  %d\n", code, count)
 		}
+		fmt.Printf("resilience retries %d  shed-replies %d  hedges %d  hedge-wins %d\n",
+			rep.Retries, rep.ShedReplies, rep.Hedges, rep.HedgeWins)
 		fmt.Printf("latency ms p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
 			rep.LatencyMsP50, rep.LatencyMsP90, rep.LatencyMsP99, rep.LatencyMsMax)
 	}
@@ -160,11 +199,15 @@ func main() {
 	}
 }
 
-func summarize(results []result, elapsed float64) report {
+func summarize(results []result, elapsed float64, st client.Stats) report {
 	rep := report{
-		Requests: len(results),
-		Seconds:  elapsed,
-		ByStatus: make(map[string]int),
+		Requests:    len(results),
+		Seconds:     elapsed,
+		ByStatus:    make(map[string]int),
+		Retries:     st.Retries,
+		ShedReplies: st.Shed,
+		Hedges:      st.Hedges,
+		HedgeWins:   st.HedgeWins,
 	}
 	if elapsed > 0 {
 		rep.Throughput = float64(len(results)) / elapsed
@@ -177,7 +220,13 @@ func summarize(results []result, elapsed float64) report {
 		}
 		rep.ByStatus[key]++
 		if r.status < 200 || r.status > 299 {
-			rep.Errors++
+			// The server asking for backoff (429/503 after retries ran out)
+			// is load shedding working, not a failure of the run.
+			if r.shed {
+				rep.Sheds++
+			} else {
+				rep.Errors++
+			}
 			continue
 		}
 		lat = append(lat, r.seconds*1000)

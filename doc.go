@@ -66,7 +66,7 @@
 // Observation is passive — estimates are bit-identical with and without
 // it — and the default no-op observer costs nothing. The rfidfleet and
 // experiments CLIs expose the registry via -metrics text|json; see
-// examples/observability and DESIGN.md §12.
+// examples/observability and DESIGN.md §14.
 //
 // # Faults, retries and degraded results
 //
@@ -90,7 +90,7 @@
 // the same policy to batches: jobs with retries degrade to partial
 // results (JobResult.Degraded) instead of failing, with exponential
 // backoff charged in simulated air time and optional per-trial context
-// deadlines. See internal/faults and DESIGN.md §13.
+// deadlines. See internal/faults and DESIGN.md §14.
 //
 // # What is simulated
 //
@@ -139,6 +139,24 @@
 // overflow sheds with 429 and Retry-After, deadlines map to 504), and
 // shutdown drains in-flight sessions at round boundaries. See DESIGN.md
 // §10.
+//
+// # Resilience
+//
+// The serving layer is crash-safe and chaos-hardened. With a state
+// directory configured, internal/checkpoint persists assigned salts and
+// monitor warm state through atomic snapshots plus a CRC-framed
+// write-ahead log, each POST /v1/monitor round made durable before it is
+// acknowledged — a crash never loses acked work, and a restart replays
+// pinned-salt requests bit-identically and continues monitor round
+// counts. Per-estimator circuit breakers shed with 503 and Retry-After
+// while an estimator keeps failing (GET /healthz stays pure liveness;
+// GET /readyz carries readiness). internal/client retries transient
+// failures under capped full-jitter backoff, honors Retry-After as a
+// floor, and hedges pinned-salt requests with a bit-identity check on
+// the two legs; internal/chaoshttp injects deterministic wire faults on
+// either end for drills and tests. All of it is seeded: recovery and
+// retry behaviour replays exactly like estimation behaviour. See
+// DESIGN.md §11.
 //
 // The experiment harness that regenerates every table and figure of the
 // paper lives in cmd/experiments; DESIGN.md maps each experiment to the

@@ -165,7 +165,7 @@ func (d Diagnostic) String() string {
 // All returns the registry of domain analyzers, in report order.
 func All() []*Analyzer {
 	return []*Analyzer{DetRand, AtomicMix, FloatCmp, SeedLit, BoolFrame, MetricReg, CtxBg,
-		SeedFlow, ErrDrop, ObsPair, RoundLoop}
+		SeedFlow, ErrDrop, ObsPair, RoundLoop, SleepCtx}
 }
 
 // Result is one analyzer's output over one package, together with the

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SleepCtx enforces the bounded-wait contract the resilience layer rests
+// on: library code must not call time.Sleep. A bare sleep cannot be
+// interrupted — not by the caller's context, not by shutdown, not by a
+// test's deadline — so every one is a latent drain stall and an
+// untestable wait (a fake clock cannot advance through it). The repo's
+// shape for a wait is a time.NewTimer select against ctx.Done() (see
+// internal/client's backoff), which cancellation interrupts immediately
+// and the race detector can drive.
+//
+// Covered packages are the module root and everything under internal/;
+// cmd/ and examples/ are allowlisted (a demo pacing its output with a
+// sleep is fine — nothing upstream needs to cancel it). A deliberate
+// in-scope sleep needs a //lint:allow sleepctx comment with its reason.
+var SleepCtx = &Analyzer{
+	Name: "sleepctx",
+	Doc: "forbid time.Sleep outside process entry points (cmd/, examples/); " +
+		"library waits must be context-bounded (timer + select on ctx.Done()) so cancellation and shutdown reach them",
+	AppliesTo: func(rel string) bool {
+		return !strings.HasPrefix(rel, "cmd/") && rel != "cmd" &&
+			!strings.HasPrefix(rel, "examples/") && rel != "examples"
+	},
+	Run: runSleepCtx,
+}
+
+func runSleepCtx(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgName, funName := calleePackageFunc(pass.Info, call)
+			if pkgName == nil || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			if funName == "Sleep" {
+				pass.Reportf(call.Pos(),
+					"time.Sleep blocks uninterruptibly inside library code: wait on a time.NewTimer select against ctx.Done() so cancellation reaches it (a deliberate sleep needs a //lint:allow sleepctx comment)")
+			}
+			return true
+		})
+	}
+	return nil
+}

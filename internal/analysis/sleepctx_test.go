@@ -1,0 +1,31 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rfidest/internal/analysis"
+	"rfidest/internal/analysis/analysistest"
+)
+
+func TestSleepCtxGolden(t *testing.T) {
+	analysistest.Run(t, analysis.SleepCtx, "testdata/sleepctx")
+}
+
+func TestSleepCtxScope(t *testing.T) {
+	for rel, covered := range map[string]bool{
+		".":                   true,
+		"internal/client":     true,
+		"internal/serve":      true,
+		"internal/chaoshttp":  true,
+		"internal/checkpoint": true,
+		"cmd":                 false,
+		"cmd/rfidserved":      false,
+		"cmd/rfidload":        false,
+		"examples":            false,
+		"examples/quickstart": false,
+	} {
+		if got := analysis.SleepCtx.AppliesTo(rel); got != covered {
+			t.Errorf("sleepctx covers %q = %v, want %v", rel, got, covered)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Package sleepctxtest seeds deliberate uninterruptible waits for the
+// sleepctx golden test: bare time.Sleep calls inside library-style code,
+// the context-bounded wait that is the sanctioned shape, and the
+// //lint:allow escape hatch.
+package sleepctxtest
+
+import (
+	"context"
+	"time"
+)
+
+// blockingRetry waits in a way nothing upstream can interrupt.
+func blockingRetry() {
+	time.Sleep(100 * time.Millisecond) // want `time\.Sleep blocks uninterruptibly inside library code`
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Second) // want `time\.Sleep blocks uninterruptibly inside library code`
+	}
+}
+
+// boundedWait is the correct shape: the timer select surrenders to the
+// caller's context immediately on cancellation.
+func boundedWait(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// sanctionedSleep exercises the trailing suppression form.
+func sanctionedSleep() {
+	time.Sleep(time.Millisecond) //lint:allow sleepctx golden-test fixture for trailing suppression
+}
+
+// sanctionedSleepAbove exercises the standalone (line-above) form.
+func sanctionedSleepAbove() {
+	//lint:allow sleepctx golden-test fixture for standalone suppression
+	time.Sleep(time.Millisecond)
+}
+
+// timerUseOK references the time package without sleeping.
+func timerUseOK(d time.Duration) *time.Timer {
+	return time.NewTimer(d)
+}

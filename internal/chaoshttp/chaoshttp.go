@@ -1,0 +1,351 @@
+// Package chaoshttp injects deterministic transport faults into the
+// serving stack: connection resets, response stalls, truncated bodies and
+// 5xx bursts, on either side of the wire.
+//
+// Every fault decision is a pure function of (seed, request sequence
+// number, plan) — no wall clock, no global randomness — so a chaos run is
+// an experiment, not a dice roll: the same seed replays the same fault
+// schedule, a failing soak reproduces locally, and tests can assert the
+// exact sequence of injected faults. Faults arrive in bursts of
+// Plan.BurstLen consecutive requests sharing one draw, which is how real
+// outages look (a flaky middlebox breaks runs of requests, not every
+// twentieth in isolation).
+//
+// Two injection points wrap the same schedule:
+//
+//   - Middleware wraps an http.Handler (the server side): resets hijack
+//     and slam the connection, truncation sends a short body under a full
+//     Content-Length, stalls delay the response, 5xx answers without
+//     reaching the handler.
+//   - Transport wraps an http.RoundTripper (the client side): faults are
+//     synthesized before or after the real round trip, so a client can be
+//     chaos-tested against a healthy server.
+//
+// The request sequence is the wrapper's own arrival counter. Under
+// concurrency the assignment of sequence numbers to requests races (as in
+// any real system); the schedule itself — which sequence numbers fault and
+// how — is still exactly reproducible, and single-flight drivers (the
+// smoke scripts, the tests) get full determinism end to end.
+package chaoshttp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"rfidest/internal/xrand"
+)
+
+// Kind is the fault injected for one request.
+type Kind int
+
+const (
+	// None passes the request through untouched.
+	None Kind = iota
+	// Reset kills the connection without a response (server) or fails the
+	// round trip with a synthetic connection-reset error (client).
+	Reset
+	// Stall delays the response by Plan.StallDelay, then proceeds normally.
+	Stall
+	// Truncate delivers only Plan.TruncateFrac of the response body under
+	// the full Content-Length, then cuts the connection.
+	Truncate
+	// Err5xx answers 503 (with a Retry-After) without doing the work.
+	Err5xx
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Reset:
+		return "reset"
+	case Stall:
+		return "stall"
+	case Truncate:
+		return "truncate"
+	case Err5xx:
+		return "err5xx"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Plan is a fault schedule: per-fault probabilities plus shape knobs.
+// Probabilities are evaluated in order (reset, stall, truncate, 5xx) from
+// one per-burst stream, so they compose without overlapping draws. The
+// zero value injects nothing.
+type Plan struct {
+	// Reset is P(connection reset).
+	Reset float64
+	// Stall is P(response stalled by StallDelay) (delay default 500ms).
+	Stall      float64
+	StallDelay time.Duration
+	// Truncate is P(body cut after TruncateFrac of its bytes) (frac
+	// default 0.5).
+	Truncate     float64
+	TruncateFrac float64
+	// Err5xx is P(synthetic 503).
+	Err5xx float64
+	// BurstLen groups this many consecutive requests into one draw (1).
+	BurstLen int
+}
+
+func (p Plan) withDefaults() Plan {
+	if p.StallDelay <= 0 {
+		p.StallDelay = 500 * time.Millisecond
+	}
+	if p.TruncateFrac <= 0 || p.TruncateFrac >= 1 {
+		p.TruncateFrac = 0.5
+	}
+	if p.BurstLen <= 0 {
+		p.BurstLen = 1
+	}
+	return p
+}
+
+// Severity builds a balanced plan from one knob in [0, 1]: 0 is a healthy
+// wire, 1 faults roughly every request. The smoke scripts' -chaos flag is
+// this knob.
+func Severity(level float64) Plan {
+	if level < 0 {
+		level = 0
+	}
+	if level > 1 {
+		level = 1
+	}
+	return Plan{
+		Reset:      0.25 * level,
+		Stall:      0.15 * level,
+		StallDelay: 200 * time.Millisecond,
+		Truncate:   0.25 * level,
+		Err5xx:     0.35 * level,
+		BurstLen:   3,
+	}
+}
+
+// Draw is the fault decision for request seq under (seed, plan) — the
+// pure function everything else wraps. Exported so tests and scripts can
+// predict or replay a schedule without mounting any HTTP machinery.
+func (p Plan) Draw(seed, seq uint64) Kind {
+	p = p.withDefaults()
+	rng := xrand.NewStream(seed, 0xc4a05, seq/uint64(p.BurstLen))
+	switch {
+	case rng.Bernoulli(p.Reset):
+		return Reset
+	case rng.Bernoulli(p.Stall):
+		return Stall
+	case rng.Bernoulli(p.Truncate):
+		return Truncate
+	case rng.Bernoulli(p.Err5xx):
+		return Err5xx
+	default:
+		return None
+	}
+}
+
+// injector is the shared arrival counter + schedule.
+type injector struct {
+	seed uint64
+	plan Plan
+	seq  atomic.Uint64
+}
+
+func (in *injector) next() Kind {
+	return in.plan.Draw(in.seed, in.seq.Add(1)-1)
+}
+
+// Middleware wraps next with server-side fault injection under (seed,
+// plan). Health and metrics probes (paths not under /v1/) pass through
+// untouched — chaos is for the work, not for the instruments observing it.
+func Middleware(seed uint64, plan Plan, next http.Handler) http.Handler {
+	in := &injector{seed: seed, plan: plan.withDefaults()}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if len(r.URL.Path) < 4 || r.URL.Path[:4] != "/v1/" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		switch in.next() {
+		case Reset:
+			slamConnection(w)
+		case Stall:
+			if !stall(r, in.plan.StallDelay) {
+				return // client went away mid-stall
+			}
+			next.ServeHTTP(w, r)
+		case Truncate:
+			truncateResponse(w, r, next, in.plan.TruncateFrac)
+		case Err5xx:
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, `{"error":"chaos: injected 503"}`) //lint:allow errdrop injected-fault path; a dead client is itself chaos
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// slamConnection hijacks and closes the TCP connection with no response —
+// the client sees a reset or an unexpected EOF.
+func slamConnection(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		// No raw connection to kill (e.g. HTTP/2): degrade to an empty 500.
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	conn.Close()
+}
+
+// stall waits d, bounded by the request context; false means the client
+// disconnected first.
+func stall(r *http.Request, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+// truncateResponse runs the real handler against a buffer, then replays
+// the response over the hijacked connection with the full Content-Length
+// but only frac of the body, and cuts the line.
+func truncateResponse(w http.ResponseWriter, r *http.Request, next http.Handler, frac float64) {
+	rec := &bufferingWriter{header: make(http.Header), status: http.StatusOK}
+	next.ServeHTTP(rec, r)
+
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	conn, bw, err := hj.Hijack()
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	defer conn.Close()
+	body := rec.buf.Bytes()
+	cut := int(float64(len(body)) * frac)
+	fmt.Fprintf(bw, "HTTP/1.1 %d %s\r\n", rec.status, http.StatusText(rec.status))
+	rec.header.Set("Content-Length", strconv.Itoa(len(body)))
+	rec.header.Del("Transfer-Encoding")
+	rec.header.Write(bw) //lint:allow errdrop the connection is being cut deliberately; a short header write is the same fault
+	io.WriteString(bw, "\r\n")
+	bw.Write(body[:cut])
+	bw.Flush()
+}
+
+// bufferingWriter captures a handler's full response for replay.
+type bufferingWriter struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (b *bufferingWriter) Header() http.Header { return b.header }
+func (b *bufferingWriter) WriteHeader(s int)   { b.status = s }
+func (b *bufferingWriter) Write(p []byte) (int, error) {
+	return b.buf.Write(p)
+}
+
+// ErrInjectedReset is the error a client-side Reset fault fails with.
+var ErrInjectedReset = errors.New("chaoshttp: injected connection reset")
+
+// Transport wraps rt with client-side fault injection under (seed, plan).
+// A nil rt wraps http.DefaultTransport.
+func Transport(seed uint64, plan Plan, rt http.RoundTripper) http.RoundTripper {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	return &chaosTransport{injector{seed: seed, plan: plan.withDefaults()}, rt}
+}
+
+type chaosTransport struct {
+	in injector
+	rt http.RoundTripper
+}
+
+func (t *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch t.in.next() {
+	case Reset:
+		return nil, ErrInjectedReset
+	case Stall:
+		st := time.NewTimer(t.in.plan.StallDelay)
+		defer st.Stop()
+		select {
+		case <-st.C:
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return t.rt.RoundTrip(req)
+	case Truncate:
+		resp, err := t.rt.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		return truncateBody(resp, t.in.plan.TruncateFrac)
+	case Err5xx:
+		return synthetic503(req), nil
+	default:
+		return t.rt.RoundTrip(req)
+	}
+}
+
+// truncateBody swaps resp's body for one that yields frac of the bytes
+// and then fails with ErrUnexpectedEOF, as a cut connection would.
+func truncateBody(resp *http.Response, frac float64) (*http.Response, error) {
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	cut := int(float64(len(body)) * frac)
+	resp.Body = io.NopCloser(&truncatedReader{data: body[:cut]})
+	return resp, nil
+}
+
+type truncatedReader struct {
+	data []byte
+	off  int
+}
+
+func (r *truncatedReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// synthetic503 is the client-side Err5xx fault: a shed reply that never
+// touched the wire.
+func synthetic503(req *http.Request) *http.Response {
+	body := `{"error":"chaos: injected 503"}`
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Retry-After": {"1"}, "Content-Type": {"application/json"}},
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

@@ -1,0 +1,217 @@
+package chaoshttp
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDrawDeterministic: the fault schedule is a pure function of
+// (seed, seq, plan) — two walks agree draw for draw.
+func TestDrawDeterministic(t *testing.T) {
+	plan := Severity(0.8)
+	for seq := uint64(0); seq < 512; seq++ {
+		if a, b := plan.Draw(7, seq), plan.Draw(7, seq); a != b {
+			t.Fatalf("seq %d: %v != %v on identical draws", seq, a, b)
+		}
+	}
+	// A different seed produces a different schedule somewhere.
+	same := true
+	for seq := uint64(0); seq < 512; seq++ {
+		if plan.Draw(7, seq) != plan.Draw(8, seq) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 drew identical 512-request schedules")
+	}
+}
+
+// TestDrawCoversAllFaults: a hot plan eventually injects every kind.
+func TestDrawCoversAllFaults(t *testing.T) {
+	plan := Severity(1)
+	seen := map[Kind]bool{}
+	for seq := uint64(0); seq < 4096; seq++ {
+		seen[plan.Draw(3, seq)] = true
+	}
+	for _, k := range []Kind{None, Reset, Stall, Truncate, Err5xx} {
+		if !seen[k] {
+			t.Errorf("kind %v never drawn in 4096 requests at severity 1", k)
+		}
+	}
+}
+
+// TestDrawBursts: BurstLen groups consecutive sequence numbers into one
+// draw — fault windows, not isolated coin flips.
+func TestDrawBursts(t *testing.T) {
+	plan := Plan{Reset: 0.5, BurstLen: 4}
+	for seq := uint64(0); seq < 256; seq += 4 {
+		first := plan.Draw(1, seq)
+		for i := uint64(1); i < 4; i++ {
+			if got := plan.Draw(1, seq+i); got != first {
+				t.Fatalf("seq %d draws %v, burst mate %d drew %v", seq+i, got, seq, first)
+			}
+		}
+	}
+}
+
+// TestSeverityZeroIsClean: the zero knob never faults.
+func TestSeverityZeroIsClean(t *testing.T) {
+	plan := Severity(0)
+	for seq := uint64(0); seq < 1024; seq++ {
+		if k := plan.Draw(1, seq); k != None {
+			t.Fatalf("seq %d: severity 0 injected %v", seq, k)
+		}
+	}
+}
+
+// okHandler answers a fixed JSON body on every request.
+func okHandler(hits *atomic.Int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits != nil {
+			hits.Add(1)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"estimate":{"n":1234.5}}`)
+	})
+}
+
+// TestMiddlewareReset: a reset fault kills the connection — the client
+// sees a transport error, not a response.
+func TestMiddlewareReset(t *testing.T) {
+	ts := httptest.NewServer(Middleware(1, Plan{Reset: 1}, okHandler(nil)))
+	defer ts.Close()
+	_, err := http.Get(ts.URL + "/v1/estimate")
+	if err == nil {
+		t.Fatal("reset-faulted request returned a response")
+	}
+}
+
+// TestMiddlewareErr5xx: a 5xx fault answers 503 with a Retry-After and
+// never reaches the handler.
+func TestMiddlewareErr5xx(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(Middleware(1, Plan{Err5xx: 1}, okHandler(&hits)))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/estimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("injected 503 missing Retry-After")
+	}
+	if hits.Load() != 0 {
+		t.Error("injected 503 still reached the handler")
+	}
+}
+
+// TestMiddlewareTruncate: a truncated response advertises its full length
+// but delivers less — the client's body read fails.
+func TestMiddlewareTruncate(t *testing.T) {
+	ts := httptest.NewServer(Middleware(1, Plan{Truncate: 1}, okHandler(nil)))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/estimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); err == nil {
+		t.Fatal("truncated body read completed cleanly")
+	}
+}
+
+// TestMiddlewareStall: a stalled response arrives late but intact.
+func TestMiddlewareStall(t *testing.T) {
+	ts := httptest.NewServer(Middleware(1,
+		Plan{Stall: 1, StallDelay: 50 * time.Millisecond}, okHandler(nil)))
+	defer ts.Close()
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/v1/estimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("stalled request answered in %v, want >= 50ms", elapsed)
+	}
+	if !strings.Contains(string(body), "1234.5") {
+		t.Errorf("stalled body corrupted: %s", body)
+	}
+}
+
+// TestMiddlewareSparesProbes: /healthz and /v1/metrics-free paths pass
+// through untouched even under total chaos.
+func TestMiddlewareSparesProbes(t *testing.T) {
+	ts := httptest.NewServer(Middleware(1, Plan{Reset: 1}, okHandler(nil)))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz under chaos: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestTransportFaults: the client-side injector synthesizes the same
+// fault family without a cooperating server.
+func TestTransportFaults(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(okHandler(&hits))
+	defer ts.Close()
+
+	get := func(plan Plan) (*http.Response, error) {
+		c := &http.Client{Transport: Transport(1, plan, nil)}
+		return c.Get(ts.URL + "/v1/estimate")
+	}
+
+	if _, err := get(Plan{Reset: 1}); !errors.Is(err, ErrInjectedReset) {
+		t.Errorf("reset fault: err = %v, want ErrInjectedReset", err)
+	}
+
+	before := hits.Load()
+	resp, err := get(Plan{Err5xx: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || hits.Load() != before {
+		t.Errorf("5xx fault: status %d (server hits moved %v), want synthetic 503",
+			resp.StatusCode, hits.Load() != before)
+	}
+
+	resp, err = get(Plan{Truncate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncate fault: read err = %v, want ErrUnexpectedEOF", err)
+	}
+
+	resp, err = get(Plan{}) // clean plan: the real response comes through
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || !strings.Contains(string(body), "1234.5") {
+		t.Errorf("clean transport corrupted the response: %s (%v)", body, err)
+	}
+}

@@ -1,0 +1,414 @@
+// Package checkpoint gives rfidserved a crash-safe memory: a small,
+// durable state store built from the two classic primitives —
+//
+//   - full-state snapshots written atomically (temp file in the same
+//     directory, fsync, rename over the live name, fsync the directory),
+//     so a crash at any instant leaves either the old snapshot or the new
+//     one, never a torn hybrid;
+//   - a CRC-framed append log (WAL) between snapshots, so the per-update
+//     cost is one small append+fsync instead of rewriting the world.
+//
+// Recovery reads the snapshot, then replays the log over it. A torn final
+// record — the signature of a crash mid-append — is detected by its
+// length/CRC frame and truncated away, never fatal: an append that did not
+// complete was by definition never acknowledged, so dropping it is correct.
+// Anything before the torn tail was fsynced in order and survives.
+//
+// What rfidserved persists through this package is deliberately small and
+// deliberately warm: the server's salt-sequence high-water mark (so a
+// restarted server never re-issues a salt it already acknowledged) and the
+// warm-start state of every named Monitor (the Snapshot/Restore wire
+// format from the root package) together with the immutable config needed
+// to rebuild it. Estimation itself is stateless — pinned-salt requests
+// replay bit-identically from the seed alone — so the checkpoint carries
+// exactly the state that is NOT derivable from a request.
+//
+// The store is safe for concurrent use; every mutating call returns only
+// after the record is durable (unless Config.NoSync relaxes that for
+// tests and benchmarks).
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Version is the on-disk format version stamped into every snapshot.
+const Version = 1
+
+// Default compaction threshold: after this many WAL records the next
+// mutation folds the log into a fresh snapshot.
+const defaultCompactEvery = 256
+
+const (
+	snapName = "state.ckpt"
+	walName  = "state.wal"
+	tmpName  = "state.ckpt.tmp"
+)
+
+// Monitor is the durable record of one named monitor: the immutable
+// configuration needed to rebuild it after a crash plus the warm-start
+// state its last completed round left behind (the rfidest.MonitorState
+// fields). System is opaque to this package — the serving layer stores
+// its wire-format SystemSpec there so checkpoint does not import serve.
+type Monitor struct {
+	Epsilon    float64         `json:"epsilon"`
+	Delta      float64         `json:"delta"`
+	FastRounds int             `json:"fastRounds,omitempty"`
+	System     json.RawMessage `json:"system,omitempty"`
+
+	// Warm-start state (mirrors rfidest.MonitorState).
+	Pn     int     `json:"pn"`
+	N      float64 `json:"n"`
+	Rounds int     `json:"rounds"`
+}
+
+// State is everything the store persists. The zero value is a valid empty
+// state (fresh directory, nothing recovered).
+type State struct {
+	Version  int                `json:"version"`
+	SaltSeq  uint64             `json:"saltSeq"`
+	Monitors map[string]Monitor `json:"monitors,omitempty"`
+}
+
+// clone deep-copies s so callers can mutate their view freely.
+func (s State) clone() State {
+	out := State{Version: s.Version, SaltSeq: s.SaltSeq}
+	if s.Monitors != nil {
+		out.Monitors = make(map[string]Monitor, len(s.Monitors))
+		for k, v := range s.Monitors {
+			v.System = append(json.RawMessage(nil), v.System...)
+			out.Monitors[k] = v
+		}
+	}
+	return out
+}
+
+// record is one WAL entry: a tagged union, JSON-encoded inside the CRC
+// frame. Kind selects which payload fields are meaningful.
+type record struct {
+	Kind    string   `json:"kind"` // "saltSeq" | "monitor" | "dropMonitor"
+	SaltSeq uint64   `json:"saltSeq,omitempty"`
+	Name    string   `json:"name,omitempty"`
+	Monitor *Monitor `json:"monitor,omitempty"`
+}
+
+// apply folds the record into the state.
+func (s *State) apply(r record) error {
+	switch r.Kind {
+	case "saltSeq":
+		if r.SaltSeq > s.SaltSeq {
+			s.SaltSeq = r.SaltSeq
+		}
+	case "monitor":
+		if r.Monitor == nil {
+			return errors.New("checkpoint: monitor record without a monitor payload")
+		}
+		if s.Monitors == nil {
+			s.Monitors = make(map[string]Monitor)
+		}
+		s.Monitors[r.Name] = *r.Monitor
+	case "dropMonitor":
+		delete(s.Monitors, r.Name)
+	default:
+		return fmt.Errorf("checkpoint: unknown record kind %q", r.Kind)
+	}
+	return nil
+}
+
+// Config tunes a Store. The zero value is the durable default.
+type Config struct {
+	// CompactEvery folds the WAL into a fresh snapshot after this many
+	// records (default 256; negative disables auto-compaction).
+	CompactEvery int
+	// NoSync skips the fsync after each append and snapshot. Only for
+	// tests and benchmarks — a NoSync store trades crash-safety for speed.
+	NoSync bool
+}
+
+// Store is the durable state store rooted in one directory. Construct
+// with Open; all methods are safe for concurrent use.
+type Store struct {
+	dir string
+	cfg Config
+
+	mu      sync.Mutex
+	state   State    // snapshot ⊕ replayed log, kept current on every append
+	wal     *os.File // open append handle
+	pending int      // records appended since the last snapshot
+}
+
+// Open recovers (or initializes) the store under dir, creating the
+// directory if needed. It returns the recovered state via State(); a torn
+// final WAL record is truncated and reported through the returned store's
+// recovered state, not as an error.
+func Open(dir string, cfg Config) (*Store, error) {
+	if cfg.CompactEvery == 0 {
+		cfg.CompactEvery = defaultCompactEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	st := State{Version: Version}
+	snapBytes, err := os.ReadFile(filepath.Join(dir, snapName))
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(snapBytes, &st); err != nil {
+			return nil, fmt.Errorf("checkpoint: corrupt snapshot %s: %w", snapName, err)
+		}
+		if st.Version != Version {
+			return nil, fmt.Errorf("checkpoint: snapshot version %d, this build reads %d", st.Version, Version)
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh directory (or snapshot never written): start empty.
+	default:
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+
+	walPath := filepath.Join(dir, walName)
+	if err := replayWAL(walPath, &st); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	s := &Store{dir: dir, cfg: cfg, state: st, wal: wal}
+	return s, nil
+}
+
+// replayWAL folds the log at path into st. A torn or corrupt tail —
+// short frame, short payload, CRC mismatch, or undecodable JSON — marks
+// the durable prefix's end: the file is truncated there and replay stops.
+// Records before the cut were written and fsynced in order, so they are
+// intact by construction.
+func replayWAL(path string, st *State) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	var offset int64
+	var header [8]byte
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // clean end of log
+			}
+			// io.ErrUnexpectedEOF: torn frame header.
+			return truncateAt(f, offset)
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length > maxRecordBytes {
+			// A wild length means the header itself is garbage (torn write
+			// over a recycled block): cut here.
+			return truncateAt(f, offset)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return truncateAt(f, offset) // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return truncateAt(f, offset) // bit rot or torn tail
+		}
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return truncateAt(f, offset)
+		}
+		if err := st.apply(rec); err != nil {
+			return err
+		}
+		offset += int64(len(header) + len(payload))
+	}
+}
+
+// maxRecordBytes bounds a single WAL record; real records are well under
+// a kilobyte, so anything past this is a corrupt frame, not data.
+const maxRecordBytes = 1 << 20
+
+// truncateAt cuts the log to the last known-good offset.
+func truncateAt(f *os.File, offset int64) error {
+	if err := f.Truncate(offset); err != nil {
+		return fmt.Errorf("checkpoint: truncating torn log tail: %w", err)
+	}
+	return f.Sync()
+}
+
+// State returns a copy of the current state (recovered at Open, kept
+// current by every append).
+func (s *Store) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state.clone()
+}
+
+// SetSaltSeq durably records that salt sequence numbers up to and
+// including seq are spent. The stored value is monotone: a lower seq than
+// the current high-water mark is a no-op (not an error), so callers can
+// reserve in racing blocks.
+func (s *Store) SetSaltSeq(seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq <= s.state.SaltSeq {
+		return nil
+	}
+	return s.appendLocked(record{Kind: "saltSeq", SaltSeq: seq})
+}
+
+// PutMonitor durably records the named monitor's config and warm state,
+// replacing any previous record under the name.
+func (s *Store) PutMonitor(name string, m Monitor) error {
+	if name == "" {
+		return errors.New("checkpoint: empty monitor name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(record{Kind: "monitor", Name: name, Monitor: &m})
+}
+
+// DropMonitor durably removes the named monitor. Unknown names are a
+// no-op so callers need not read before deleting.
+func (s *Store) DropMonitor(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.state.Monitors[name]; !ok {
+		return nil
+	}
+	return s.appendLocked(record{Kind: "dropMonitor", Name: name})
+}
+
+// appendLocked frames, writes and (unless NoSync) fsyncs one record, then
+// folds it into the in-memory state and compacts if the log has grown past
+// the threshold. Callers hold s.mu.
+func (s *Store) appendLocked(rec record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	if _, err := s.wal.Write(frame); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if !s.cfg.NoSync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	if err := s.state.apply(rec); err != nil {
+		return err
+	}
+	s.pending++
+	if s.cfg.CompactEvery > 0 && s.pending >= s.cfg.CompactEvery {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Compact folds the WAL into a fresh snapshot now, regardless of the
+// auto-compaction threshold.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+// compactLocked writes the atomic snapshot and resets the log: marshal the
+// full state to a temp file in the same directory, fsync it, rename it
+// over the live snapshot name, fsync the directory (making the rename
+// durable), then truncate the WAL. A crash between any two steps leaves a
+// recoverable pair: rename is atomic, and a stale WAL replayed over the
+// new snapshot is harmless because records are idempotent overwrites and
+// SaltSeq is monotone.
+func (s *Store) compactLocked() error {
+	tmp := filepath.Join(s.dir, tmpName)
+	data, err := json.Marshal(s.state)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if !s.cfg.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if !s.cfg.NoSync {
+		if err := syncDir(s.dir); err != nil {
+			return err
+		}
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if !s.cfg.NoSync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	s.pending = 0
+	return nil
+}
+
+// syncDir makes a rename in dir durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Close compacts (so the next Open replays nothing) and releases the log
+// handle. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	compactErr := error(nil)
+	if s.pending > 0 {
+		compactErr = s.compactLocked()
+	}
+	closeErr := s.wal.Close()
+	s.wal = nil
+	if compactErr != nil {
+		return compactErr
+	}
+	return closeErr
+}

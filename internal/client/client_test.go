@@ -1,0 +1,352 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rfidest"
+	"rfidest/internal/serve"
+	"rfidest/internal/xrand"
+)
+
+// fastCfg returns a config with near-zero backoff so retry tests finish
+// in milliseconds.
+func fastCfg(url string) Config {
+	return Config{
+		BaseURL:     url,
+		Seed:        7,
+		Retries:     3,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
+	}
+}
+
+// estimateOK writes a deterministic EstimateResponse.
+func estimateOK(w http.ResponseWriter, n float64, salt uint64) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(serve.EstimateResponse{
+		Estimate: rfidest.Estimate{N: n},
+		Salt:     salt,
+	})
+}
+
+func shed(w http.ResponseWriter, status int, retryAfter string) {
+	if retryAfter != "" {
+		w.Header().Set("Retry-After", retryAfter)
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "shed"})
+}
+
+var testReq = serve.EstimateRequest{
+	System:  serve.SystemSpec{N: 1000, Synthetic: true},
+	Epsilon: 0.1, Delta: 0.1,
+}
+
+// TestRetryRecoversFromTransient: two 503 sheds then success; the call
+// succeeds and the counters record every attempt.
+func TestRetryRecoversFromTransient(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			shed(w, http.StatusServiceUnavailable, "0")
+			return
+		}
+		estimateOK(w, 1000, 42)
+	}))
+	defer ts.Close()
+
+	c := New(fastCfg(ts.URL))
+	resp, err := c.Estimate(context.Background(), testReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Estimate.N != 1000 || resp.Salt != 42 {
+		t.Errorf("resp = %+v, want n=1000 salt=42", resp)
+	}
+	st := c.Stats()
+	if st.Calls != 1 || st.Attempts != 3 || st.Retries != 2 || st.Shed != 2 {
+		t.Errorf("stats = %+v, want 1 call, 3 attempts, 2 retries, 2 shed", st)
+	}
+}
+
+// TestTerminalStatusDoesNotRetry: a 400 is the request's fault; exactly
+// one attempt, surfaced as *StatusError.
+func TestTerminalStatusDoesNotRetry(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "epsilon must be in (0, 1)"})
+	}))
+	defer ts.Close()
+
+	c := New(fastCfg(ts.URL))
+	_, err := c.Estimate(context.Background(), testReq)
+	var serr *StatusError
+	if !errors.As(err, &serr) || serr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server hits = %d, want 1 (no retry on 4xx)", got)
+	}
+}
+
+// TestRetriesExhausted: a persistent 503 fails after Retries+1 attempts
+// with the last shed error.
+func TestRetriesExhausted(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		shed(w, http.StatusServiceUnavailable, "0")
+	}))
+	defer ts.Close()
+
+	c := New(fastCfg(ts.URL))
+	_, err := c.Estimate(context.Background(), testReq)
+	var serr *StatusError
+	if !errors.As(err, &serr) || serr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want StatusError 503", err)
+	}
+	if got := hits.Load(); got != 4 {
+		t.Errorf("server hits = %d, want 4 (1 + 3 retries)", got)
+	}
+}
+
+// TestRetryAfterDominatesBackoff: the server's Retry-After hint is a
+// floor under the jittered draw.
+func TestRetryAfterDominatesBackoff(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			shed(w, http.StatusTooManyRequests, "1")
+			return
+		}
+		estimateOK(w, 1000, 1)
+	}))
+	defer ts.Close()
+
+	cfg := fastCfg(ts.URL)
+	c := New(cfg)
+	start := time.Now()
+	if _, err := c.Estimate(context.Background(), testReq); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Errorf("call finished in %v; Retry-After: 1 demands at least 1s", elapsed)
+	}
+}
+
+// TestWaitContextCancelled: a cancelled context interrupts a long
+// Retry-After wait immediately.
+func TestWaitContextCancelled(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		shed(w, http.StatusServiceUnavailable, "3600")
+	}))
+	defer ts.Close()
+
+	c := New(fastCfg(ts.URL))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Estimate(ctx, testReq)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancellation took %v; the hour-long hint was not interrupted", elapsed)
+	}
+}
+
+// TestJitterDeterministic: equal (seed, call, attempt) draw equal waits.
+func TestJitterDeterministic(t *testing.T) {
+	draw := func() []time.Duration {
+		c := New(Config{BaseURL: "http://unused", Seed: 9,
+			BackoffBase: 100 * time.Millisecond, BackoffCap: 5 * time.Second})
+		rng := xrand.NewStream(c.cfg.Seed, 0xc11e, 1)
+		var out []time.Duration
+		for attempt := 0; attempt < 6; attempt++ {
+			ceil := c.cfg.BackoffBase << uint(attempt)
+			if ceil > c.cfg.BackoffCap || ceil <= 0 {
+				ceil = c.cfg.BackoffCap
+			}
+			out = append(out, time.Duration(rng.Uint64n(uint64(ceil))))
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %v != %v", i, a[i], b[i])
+		}
+		if limit := 100 * time.Millisecond << uint(i); a[i] >= limit && a[i] >= 5*time.Second {
+			t.Errorf("draw %d = %v exceeds its ceiling", i, a[i])
+		}
+	}
+}
+
+// TestNetworkErrorRetries: a dead endpoint is transient; the client keeps
+// trying until attempts run out.
+func TestNetworkErrorRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // nothing listens now
+
+	c := New(fastCfg(ts.URL))
+	_, err := c.Estimate(context.Background(), testReq)
+	if err == nil {
+		t.Fatal("estimate against a closed listener succeeded")
+	}
+	if st := c.Stats(); st.Attempts != 4 {
+		t.Errorf("attempts = %d, want 4", st.Attempts)
+	}
+}
+
+// TestHedgeRecoversFromStall: the primary request stalls; the hedge leg
+// answers and wins, and the stalled leg is cut loose after its grace
+// window instead of pinning the call.
+func TestHedgeRecoversFromStall(t *testing.T) {
+	var hits atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			select {
+			case <-release:
+			case <-r.Context().Done():
+			}
+			return // first request: stall until cancelled
+		}
+		estimateOK(w, 2000, 0xbeef)
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	cfg := fastCfg(ts.URL)
+	cfg.Retries = -1 // isolate hedging from retrying
+	cfg.HedgeDelay = 20 * time.Millisecond
+	c := New(cfg)
+	salt := uint64(0xbeef)
+	req := testReq
+	req.Salt = &salt
+
+	start := time.Now()
+	resp, err := c.Estimate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Salt != 0xbeef || resp.Estimate.N != 2000 {
+		t.Errorf("resp = %+v, want the hedge leg's answer", resp)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("hedged call took %v; the stalled leg pinned it down", elapsed)
+	}
+	st := c.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Errorf("stats = %+v, want 1 hedge, 1 hedge win", st)
+	}
+}
+
+// TestHedgeNotLaunchedWhenFast: a primary that answers inside the delay
+// never spawns a hedge.
+func TestHedgeNotLaunchedWhenFast(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		estimateOK(w, 1000, 7)
+	}))
+	defer ts.Close()
+
+	cfg := fastCfg(ts.URL)
+	cfg.HedgeDelay = 10 * time.Second
+	c := New(cfg)
+	salt := uint64(7)
+	req := testReq
+	req.Salt = &salt
+	if _, err := c.Estimate(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hedges != 0 || hits.Load() != 1 {
+		t.Errorf("hedges = %d, hits = %d; want 0 hedges, 1 hit", st.Hedges, hits.Load())
+	}
+}
+
+// TestHedgeMismatch: both legs answer — with different estimates for the
+// same pinned salt. That is a server determinism violation and must
+// surface as ErrHedgeMismatch, not as either answer.
+func TestHedgeMismatch(t *testing.T) {
+	var mu sync.Mutex
+	arrived := 0
+	barrier := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		arrived++
+		n := float64(1000 * arrived) // different answer per request
+		if arrived == 2 {
+			close(barrier) // both legs are in: release everyone
+		}
+		mu.Unlock()
+		<-barrier
+		estimateOK(w, n, 0xd00d)
+	}))
+	defer ts.Close()
+
+	cfg := fastCfg(ts.URL)
+	cfg.Retries = -1
+	cfg.HedgeDelay = 10 * time.Millisecond
+	c := New(cfg)
+	salt := uint64(0xd00d)
+	req := testReq
+	req.Salt = &salt
+	_, err := c.Estimate(context.Background(), req)
+	if !errors.Is(err, ErrHedgeMismatch) {
+		t.Fatalf("err = %v, want ErrHedgeMismatch", err)
+	}
+}
+
+// TestHedgeConcurrentCalls drives many hedged calls in parallel — the
+// stats atomics and leg plumbing must be clean under the race detector.
+func TestHedgeConcurrentCalls(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req serve.EstimateRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		estimateOK(w, 1000, *req.Salt) // same answer for a given salt, always
+	}))
+	defer ts.Close()
+
+	cfg := fastCfg(ts.URL)
+	cfg.HedgeDelay = time.Microsecond // hedge practically every call
+	c := New(cfg)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			salt := uint64(i)
+			req := testReq
+			req.Salt = &salt
+			resp, err := c.Estimate(context.Background(), req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Salt != salt {
+				errs <- errors.New("salt echo mismatch")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := c.Stats(); st.Calls != 32 {
+		t.Errorf("calls = %d, want 32", st.Calls)
+	}
+}

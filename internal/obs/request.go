@@ -29,6 +29,18 @@ type RequestRegistry struct {
 
 	mu     sync.RWMutex
 	routes map[string]*routeMetrics
+
+	bmu      sync.RWMutex
+	breakers map[string]*breakerCell
+}
+
+// breakerCell is the per-estimator circuit-breaker accounting: trips,
+// requests shed while open/half-open, and the current state gauge
+// (0 closed, 1 open, 2 half-open).
+type breakerCell struct {
+	trips atomic.Int64
+	shed  atomic.Int64
+	state atomic.Int64
 }
 
 type routeMetrics struct {
@@ -89,17 +101,60 @@ func (r *RequestRegistry) QueueAdd(delta int64) { r.queued.Add(delta) }
 // Rejected counts one request refused by admission control.
 func (r *RequestRegistry) Rejected() { r.rejected.Add(1) }
 
+// breaker returns the per-estimator breaker cell, creating it on first use.
+func (r *RequestRegistry) breaker(estimator string) *breakerCell {
+	r.bmu.RLock()
+	c := r.breakers[estimator]
+	r.bmu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.bmu.Lock()
+	defer r.bmu.Unlock()
+	if r.breakers == nil {
+		r.breakers = make(map[string]*breakerCell)
+	}
+	if c = r.breakers[estimator]; c == nil {
+		c = &breakerCell{}
+		r.breakers[estimator] = c
+	}
+	return c
+}
+
+// BreakerTrip counts one closed→open (or half-open→open) transition of
+// the named estimator's circuit breaker.
+func (r *RequestRegistry) BreakerTrip(estimator string) { r.breaker(estimator).trips.Add(1) }
+
+// BreakerShed counts one request refused because the named estimator's
+// breaker was open or half-open.
+func (r *RequestRegistry) BreakerShed(estimator string) { r.breaker(estimator).shed.Add(1) }
+
+// BreakerState records the named estimator's current breaker state gauge
+// (0 closed, 1 open, 2 half-open).
+func (r *RequestRegistry) BreakerState(estimator string, state int64) {
+	r.breaker(estimator).state.Store(state)
+}
+
 // Panicked counts one handler panic isolated by the recovery middleware.
 func (r *RequestRegistry) Panicked() { r.panics.Add(1) }
 
 // RequestSnapshot is a point-in-time copy of a RequestRegistry. Routes are
 // sorted by name so identical states render identically.
 type RequestSnapshot struct {
-	Inflight int64           `json:"inflight"`
-	Queued   int64           `json:"queued"`
-	Rejected int64           `json:"rejected"`
-	Panics   int64           `json:"panics"`
-	Routes   []RouteSnapshot `json:"routes"`
+	Inflight int64             `json:"inflight"`
+	Queued   int64             `json:"queued"`
+	Rejected int64             `json:"rejected"`
+	Panics   int64             `json:"panics"`
+	Routes   []RouteSnapshot   `json:"routes"`
+	Breakers []BreakerSnapshot `json:"breakers,omitempty"`
+}
+
+// BreakerSnapshot is the per-estimator circuit-breaker accounting.
+type BreakerSnapshot struct {
+	Estimator string `json:"estimator"`
+	Trips     int64  `json:"trips"`
+	Shed      int64  `json:"shed"`
+	State     int64  `json:"state"` // 0 closed, 1 open, 2 half-open
 }
 
 // RouteSnapshot is the per-route request accounting.
@@ -146,6 +201,22 @@ func (r *RequestRegistry) Snapshot() RequestSnapshot {
 		})
 	}
 	r.mu.RUnlock()
+	r.bmu.RLock()
+	bnames := make([]string, 0, len(r.breakers))
+	for name := range r.breakers {
+		bnames = append(bnames, name)
+	}
+	sort.Strings(bnames)
+	for _, name := range bnames {
+		c := r.breakers[name]
+		s.Breakers = append(s.Breakers, BreakerSnapshot{
+			Estimator: name,
+			Trips:     c.trips.Load(),
+			Shed:      c.shed.Load(),
+			State:     c.state.Load(),
+		})
+	}
+	r.bmu.RUnlock()
 	return s
 }
 
@@ -167,6 +238,12 @@ func (s RequestSnapshot) WriteText(w io.Writer) error {
 		tw.line(prefix+".status_other", rt.StatusOther)
 		tw.line(prefix+".batched", rt.Batched)
 		tw.histogram(prefix+".latency_s", rt.LatencySeconds)
+	}
+	for _, bk := range s.Breakers {
+		prefix := "obs.http.breaker." + bk.Estimator
+		tw.line(prefix+".trips", bk.Trips)
+		tw.line(prefix+".shed", bk.Shed)
+		tw.line(prefix+".state", bk.State)
 	}
 	return tw.err
 }

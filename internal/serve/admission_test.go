@@ -84,7 +84,10 @@ func TestAdmissionQueuedDeadline(t *testing.T) {
 func TestPanicIsolation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	s := New(ctx, Config{})
+	s, err := New(ctx, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var logged []RequestLog
 	s.cfg.LogRequest = func(l RequestLog) { logged = append(logged, l) }
 	h := s.instrument("/boom", false, func(w http.ResponseWriter, r *http.Request) {

@@ -16,6 +16,12 @@ var (
 	ErrOverloaded = errors.New("serve: overloaded, retry later")
 	// ErrShuttingDown reports the server is draining; 503.
 	ErrShuttingDown = errors.New("serve: shutting down")
+	// ErrBreakerOpen reports the estimator's circuit breaker is shedding
+	// traffic; 503 with a Retry-After hint.
+	ErrBreakerOpen = errors.New("serve: estimator circuit breaker open, retry later")
+	// ErrMonitorConflict reports a monitor name is already bound to a
+	// different configuration; 409.
+	ErrMonitorConflict = errors.New("serve: monitor exists with a different configuration")
 )
 
 // SystemSpec describes a deployment on the wire. It mirrors the
@@ -204,6 +210,42 @@ type BatchRequest struct {
 type BatchResponse struct {
 	Report *fleet.Report `json:"report"`
 	Error  string        `json:"error,omitempty"`
+}
+
+// MonitorRequest is the POST /v1/monitor body: run the next warm round of
+// the named monitor, creating it on first use. A monitor's configuration
+// (system, epsilon, delta, fastRounds) is fixed at creation; a request
+// naming an existing monitor with a different configuration is refused
+// with 409 rather than silently rebinding warm state to a new deployment.
+type MonitorRequest struct {
+	// Name identifies the monitoring loop; warm state and the checkpoint
+	// record are keyed by it.
+	Name   string     `json:"name"`
+	System SystemSpec `json:"system"`
+	// Epsilon and Delta form the accuracy requirement, both in (0, 1).
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+	// FastRounds is how many consecutive rounds may skip the rough phase
+	// (see rfidest.NewMonitor).
+	FastRounds int `json:"fastRounds,omitempty"`
+	// Salt pins the round's session; omitted, the server assigns one from
+	// its durable sequence and echoes it.
+	Salt *uint64 `json:"salt,omitempty"`
+	// TimeoutMs bounds the round; 0 means the server default.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// MonitorResponse is the POST /v1/monitor reply.
+type MonitorResponse struct {
+	Estimate rfidest.Estimate `json:"estimate"`
+	// Salt is the session the round ran under.
+	Salt uint64 `json:"salt"`
+	// Rounds is the monitor's completed-round count including this one —
+	// after a crash and recovery it continues, never restarts.
+	Rounds int `json:"rounds"`
+	// Warm echoes the warm-start state the round left behind (what the
+	// checkpoint now holds).
+	Warm rfidest.MonitorState `json:"warm"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON reply.

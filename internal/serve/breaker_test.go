@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"rfidest/internal/obs"
+)
+
+// fakeClock is a hand-advanced wall clock: breaker decisions are pure
+// functions of it, so every transition below is deterministic.
+type fakeClock struct {
+	t time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// testBreakerSet builds a breaker table with an aggressive configuration:
+// 4-outcome window, trips at half bad, 5s cool-down, every half-open
+// arrival is a probe (ProbeRatio 1 keeps the probe draw deterministic),
+// two probe successes close it.
+func testBreakerSet(clk *fakeClock) (*breakerSet, *obs.RequestRegistry) {
+	reg := obs.NewRequestRegistry()
+	s := newBreakerSet(BreakerConfig{
+		Window:     4,
+		MinSamples: 4,
+		TripRatio:  0.5,
+		CoolDown:   5 * time.Second,
+		ProbeRatio: 1,
+		CloseAfter: 2,
+	}, 1, clk.now, reg)
+	if s == nil {
+		panic("breaker set unexpectedly disabled")
+	}
+	return s, reg
+}
+
+// mustAllow asserts one admission decision.
+func mustAllow(t *testing.T, s *breakerSet, name string, want bool) time.Duration {
+	t.Helper()
+	ok, retryAfter := s.allow(name)
+	if ok != want {
+		t.Fatalf("allow(%q) = %v, want %v", name, ok, want)
+	}
+	return retryAfter
+}
+
+// TestBreakerLifecycle walks the full state machine on a fake clock:
+// closed → trip on sustained failure → shed during cool-down → half-open
+// probes → closed again after consecutive successes.
+func TestBreakerLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	s, reg := testBreakerSet(clk)
+
+	// Below MinSamples nothing trips, no matter how bad.
+	for i := 0; i < 3; i++ {
+		mustAllow(t, s, "BFCE", true)
+		s.record("BFCE", true)
+	}
+	mustAllow(t, s, "BFCE", true)
+	if s.open() {
+		t.Fatal("breaker tripped below MinSamples")
+	}
+
+	// The fourth bad outcome fills the window past the trip ratio.
+	s.record("BFCE", true)
+	if !s.open() {
+		t.Fatal("breaker did not trip at MinSamples with 100% bad outcomes")
+	}
+
+	// Open: everything sheds, with the remaining cool-down as the hint.
+	if ra := mustAllow(t, s, "BFCE", false); ra != 5*time.Second {
+		t.Errorf("retryAfter = %v, want full 5s cool-down", ra)
+	}
+	clk.advance(2 * time.Second)
+	if ra := mustAllow(t, s, "BFCE", false); ra != 3*time.Second {
+		t.Errorf("retryAfter after 2s = %v, want 3s", ra)
+	}
+
+	// Cool-down elapsed: the next arrival half-opens and (ProbeRatio 1)
+	// is admitted as a probe.
+	clk.advance(3 * time.Second)
+	mustAllow(t, s, "BFCE", true)
+	s.record("BFCE", false)
+	if !s.open() {
+		t.Fatal("one probe success closed the breaker early (CloseAfter is 2)")
+	}
+	mustAllow(t, s, "BFCE", true)
+	s.record("BFCE", false)
+	if s.open() {
+		t.Fatal("breaker still open after CloseAfter probe successes")
+	}
+	mustAllow(t, s, "BFCE", true)
+
+	snap := reg.Snapshot()
+	if len(snap.Breakers) != 1 {
+		t.Fatalf("breaker snapshots = %d, want 1", len(snap.Breakers))
+	}
+	bk := snap.Breakers[0]
+	if bk.Estimator != "BFCE" || bk.Trips != 1 || bk.Shed != 2 || bk.State != breakerClosed {
+		t.Errorf("breaker metrics = %+v, want 1 trip, 2 shed, closed", bk)
+	}
+}
+
+// TestBreakerHalfOpenFailureReopens: a bad probe outcome re-opens the
+// breaker for a fresh full cool-down.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	s, _ := testBreakerSet(clk)
+	for i := 0; i < 4; i++ {
+		s.record("BFCE", true)
+	}
+	clk.advance(5 * time.Second)
+	mustAllow(t, s, "BFCE", true) // half-open probe
+	s.record("BFCE", true)        // probe fails
+	if ra := mustAllow(t, s, "BFCE", false); ra != 5*time.Second {
+		t.Errorf("retryAfter after failed probe = %v, want a fresh 5s cool-down", ra)
+	}
+}
+
+// TestBreakerMixedOutcomesStayClosed: a bad fraction below TripRatio never
+// trips, however long it goes on.
+func TestBreakerMixedOutcomesStayClosed(t *testing.T) {
+	clk := newFakeClock()
+	s, _ := testBreakerSet(clk)
+	for i := 0; i < 40; i++ {
+		mustAllow(t, s, "BFCE", true)
+		s.record("BFCE", i%4 == 0) // 25% bad < 50% trip ratio
+	}
+	if s.open() {
+		t.Fatal("breaker tripped below the trip ratio")
+	}
+}
+
+// TestBreakerWindowSlides: old bad outcomes age out of the ring, so a bad
+// burst followed by sustained health does not trip later.
+func TestBreakerWindowSlides(t *testing.T) {
+	clk := newFakeClock()
+	s, _ := testBreakerSet(clk)
+	s.record("BFCE", true) // 1 bad in a 4-wide window
+	for i := 0; i < 4; i++ {
+		s.record("BFCE", false) // slides the bad outcome out entirely
+	}
+	s.record("BFCE", true) // 1 bad of 4 in-window: below ratio
+	if s.open() {
+		t.Fatal("breaker counted outcomes that slid out of the window")
+	}
+}
+
+// TestBreakerIsolatesEstimators: one estimator's failures never shed
+// another's traffic.
+func TestBreakerIsolatesEstimators(t *testing.T) {
+	clk := newFakeClock()
+	s, _ := testBreakerSet(clk)
+	for i := 0; i < 4; i++ {
+		s.record("BFCE", true)
+	}
+	mustAllow(t, s, "BFCE", false)
+	mustAllow(t, s, "UPE", true)
+}
+
+// TestBreakerProbeDrawDeterministic: with a fractional ProbeRatio the
+// half-open admit/shed sequence is a pure function of (seed, estimator),
+// identical across independently built sets.
+func TestBreakerProbeDrawDeterministic(t *testing.T) {
+	draws := func() []bool {
+		clk := newFakeClock()
+		s := newBreakerSet(BreakerConfig{
+			Window: 4, MinSamples: 4, TripRatio: 0.5,
+			CoolDown: time.Second, ProbeRatio: 0.25, CloseAfter: 1000,
+		}, 42, clk.now, obs.NewRequestRegistry())
+		for i := 0; i < 4; i++ {
+			s.record("BFCE", true)
+		}
+		clk.advance(time.Second)
+		var out []bool
+		for i := 0; i < 64; i++ {
+			ok, _ := s.allow("BFCE")
+			out = append(out, ok)
+		}
+		return out
+	}
+	a, b := draws(), draws()
+	admitted := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("probe draw %d differs across identically seeded sets", i)
+		}
+		if a[i] {
+			admitted++
+		}
+	}
+	if admitted == 0 || admitted == len(a) {
+		t.Errorf("probe draws admitted %d/%d; want a fractional trickle", admitted, len(a))
+	}
+}
+
+// TestBreakerDisabled: a nil set (Disabled, or no clock) always admits.
+func TestBreakerDisabled(t *testing.T) {
+	reg := obs.NewRequestRegistry()
+	clk := newFakeClock()
+	if s := newBreakerSet(BreakerConfig{Disabled: true}, 1, clk.now, reg); s != nil {
+		t.Error("Disabled config did not return a nil set")
+	}
+	if s := newBreakerSet(BreakerConfig{}, 1, nil, reg); s != nil {
+		t.Error("nil clock did not return a nil set")
+	}
+	var s *breakerSet
+	mustAllow(t, s, "BFCE", true) // nil receiver: always admit
+	s.record("BFCE", true)        // and recording is a no-op
+	if s.open() {
+		t.Error("nil set reports open")
+	}
+}

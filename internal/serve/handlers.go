@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"rfidest"
@@ -17,8 +18,10 @@ import (
 const (
 	routeEstimate = "/v1/estimate"
 	routeBatch    = "/v1/batch"
+	routeMonitor  = "/v1/monitor"
 	routeMetrics  = "/v1/metrics"
 	routeHealthz  = "/healthz"
+	routeReadyz   = "/readyz"
 )
 
 func validateAccuracy(epsilon, delta float64) error {
@@ -67,9 +70,18 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if estimator == "" {
 		estimator = "BFCE"
 	}
-	salt := s.nextSalt()
+	if !s.allowEstimator(w, estimator) {
+		return
+	}
+	var salt uint64
 	if req.Salt != nil {
 		salt = *req.Salt
+	} else {
+		var err error
+		if salt, err = s.nextSalt(); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
 	}
 
 	// The handler's own wait is bounded by the same deadline as the run,
@@ -116,6 +128,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		}
 		est, err = sys.Run(ctx, opts...)
 	}
+	if !errors.Is(err, context.Canceled) {
+		// A client that went away says nothing about the estimator's
+		// health; everything else feeds the breaker.
+		s.brk.record(estimator, breakerOutcomeBad(est, err))
+	}
 	if err != nil {
 		writeError(w, httpStatus(err), err.Error())
 		return
@@ -155,6 +172,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if req.Workers < 0 {
 		writeError(w, http.StatusBadRequest, "workers must be non-negative")
 		return
+	}
+	// Gate every distinct estimator in the batch before admission: if any
+	// breaker is shedding, queueing the whole batch is doomed work.
+	seen := map[string]bool{}
+	for _, bj := range req.Jobs {
+		name := bj.Estimator
+		if name == "" {
+			name = "BFCE"
+		}
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if !s.allowEstimator(w, name) {
+			return
+		}
 	}
 	jobs := make([]fleet.Job, len(req.Jobs))
 	for i, bj := range req.Jobs {
@@ -216,6 +249,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Interleave: req.Interleave,
 		Observer:   s.reg,
 	}, jobs)
+	if rep != nil && !errors.Is(err, context.Canceled) {
+		for _, jr := range rep.Jobs {
+			if jr.Skipped {
+				continue
+			}
+			s.brk.record(jr.Job.Estimator, jr.Failure != "" || jr.Degraded)
+		}
+	}
 	if err != nil {
 		// A cancelled batch still carries its partial report (unstarted
 		// jobs marked skipped) next to the error.
@@ -258,13 +299,207 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.req.Snapshot().WriteText(w) //lint:allow errdrop same dead-client write path as the line above
 }
 
-// handleHealthz answers GET /healthz: 200 while serving, 503 once
-// draining so load balancers stop routing here before shutdown completes.
+// handleHealthz answers GET /healthz — pure liveness: 200 for as long as
+// the process can answer at all, including while draining. Routing
+// decisions (drain, recovery, breakers) belong to /readyz; an orchestrator
+// that killed a draining instance on a liveness failure would race the
+// drain it is supposed to allow.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz answers GET /readyz — readiness: 503 until checkpoint
+// recovery has completed, while any estimator's circuit breaker is open
+// or half-open, and once draining starts; 200 otherwise. Load balancers
+// and orchestrators key routing on this, so a degraded instance stops
+// receiving traffic without being killed.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case !s.ready.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "recovering")
+	case s.draining.Load():
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
+	case s.brk.open():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "breaker-open")
+	default:
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+// allowEstimator consults the estimator's circuit breaker, answering the
+// 503 (with a rounded-up Retry-After) itself when the breaker sheds.
+func (s *Server) allowEstimator(w http.ResponseWriter, estimator string) bool {
+	ok, retryAfter := s.brk.allow(estimator)
+	if ok {
+		return true
+	}
+	secs := int(retryAfter / time.Second)
+	if secs < 1 || retryAfter%time.Second != 0 {
+		secs++ // never hint zero; round partial seconds up
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusServiceUnavailable, ErrBreakerOpen.Error())
+	return false
+}
+
+// breakerOutcomeBad classifies one completed run for the breaker: bad
+// means the work itself failed or degraded (5xx-class error, or a
+// saturated estimate), never a client-side validation problem.
+func breakerOutcomeBad(est rfidest.Estimate, err error) bool {
+	if err != nil {
+		return httpStatus(err) >= 500
+	}
+	return est.Saturated
+}
+
+// handleMonitor answers POST /v1/monitor: run the next warm round of the
+// named monitoring loop, creating the loop on first use. The round's
+// resulting warm state is appended to the checkpoint store before the
+// response is written, so an acknowledged round survives any crash.
+func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) {
+	var req MonitorRequest
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	fmt.Fprintln(w, "ok")
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "monitor name must be non-empty")
+		return
+	}
+	if err := req.System.validate(s.cfg.MaxSystemN); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := validateAccuracy(req.Epsilon, req.Delta); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.FastRounds < 0 {
+		writeError(w, http.StatusBadRequest, "fastRounds must be non-negative")
+		return
+	}
+	timeout, err := s.requestTimeout(req.TimeoutMs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !s.allowEstimator(w, "BFCE") {
+		return
+	}
+
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	release, err := s.adm.acquire(ctx)
+	if err != nil {
+		s.writeAdmissionError(w, err)
+		return
+	}
+	defer release()
+
+	entry, runLock, err := s.monitorEntry(req)
+	if err != nil {
+		writeError(w, httpStatus(err), err.Error())
+		return
+	}
+	var salt uint64
+	if req.Salt != nil {
+		salt = *req.Salt
+	} else if salt, err = s.nextSalt(); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	// One round at a time per monitor: warm state is a temporal chain.
+	runLock.Lock()
+	defer runLock.Unlock()
+	sys := s.systems.get(req.System)
+	est, err := entry.mon.Run(ctx, sys,
+		rfidest.WithSeedSalt(salt), rfidest.WithObserver(s.reg))
+	if !errors.Is(err, context.Canceled) {
+		s.brk.record("BFCE", breakerOutcomeBad(est, err))
+	}
+	if err != nil {
+		writeError(w, httpStatus(err), err.Error())
+		return
+	}
+	if s.ckpt != nil {
+		// Durability before acknowledgement: the response only goes out
+		// once the round's warm state would survive a crash.
+		rec, err := entry.record()
+		if err == nil {
+			err = s.ckpt.PutMonitor(req.Name, rec)
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, MonitorResponse{
+		Estimate: est,
+		Salt:     salt,
+		Rounds:   entry.mon.Rounds(),
+		Warm:     entry.mon.Snapshot(),
+	})
+}
+
+// handleMonitorDelete answers DELETE /v1/monitor?name=...: drop the named
+// loop and its checkpoint record. Unknown names are a 404.
+func (s *Server) handleMonitorDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing name query parameter")
+		return
+	}
+	s.monMu.Lock()
+	_, ok := s.mons[name]
+	if ok {
+		delete(s.mons, name)
+		delete(s.monRun, name)
+	}
+	s.monMu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no monitor named %q", name))
+		return
+	}
+	if s.ckpt != nil {
+		if err := s.ckpt.DropMonitor(name); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// monitorEntry returns the named monitor and its run lock, creating both
+// on first use. An existing entry with a different configuration is a
+// conflict — rebinding warm state to a new deployment would poison it.
+func (s *Server) monitorEntry(req MonitorRequest) (*servedMonitor, *sync.Mutex, error) {
+	s.monMu.Lock()
+	defer s.monMu.Unlock()
+	if entry, ok := s.mons[req.Name]; ok {
+		if !entry.matches(req) {
+			return nil, nil, fmt.Errorf("%w: %q", ErrMonitorConflict, req.Name)
+		}
+		return entry, s.monRun[req.Name], nil
+	}
+	mon, err := rfidest.NewMonitor(req.Epsilon, req.Delta, req.FastRounds)
+	if err != nil {
+		return nil, nil, err
+	}
+	entry := &servedMonitor{
+		spec:       req.System,
+		epsilon:    req.Epsilon,
+		delta:      req.Delta,
+		fastRounds: req.FastRounds,
+		mon:        mon,
+	}
+	s.mons[req.Name] = entry
+	s.monRun[req.Name] = &sync.Mutex{}
+	return entry, s.monRun[req.Name], nil
 }

@@ -101,8 +101,10 @@ func httpStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrShuttingDown):
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrBreakerOpen):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrMonitorConflict):
+		return http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"rfidest"
+	"rfidest/internal/checkpoint"
+)
+
+// monitorTable is the server's registry of named monitoring loops. Each
+// entry owns one rfidest.Monitor — stateful by design, one round feeding
+// the next — plus the immutable configuration it was created with, so a
+// later request naming it can be checked for drift instead of silently
+// poisoning warm state with a different deployment's rounds.
+//
+// Rounds are serialized per entry (Monitor's contract is one goroutine);
+// different monitors run concurrently. After every completed round the
+// warm state is appended to the checkpoint store before the response is
+// written, so an acknowledged round is durable by construction: a crash
+// after the ack replays into a restart that already carries it.
+type servedMonitor struct {
+	spec       SystemSpec
+	epsilon    float64
+	delta      float64
+	fastRounds int
+
+	mon *rfidest.Monitor // guarded by the table's per-entry lock discipline
+}
+
+// monitorKeyMatches reports whether the request's configuration matches
+// the entry's. SystemSpec is comparable, so this is a plain field check.
+func (m *servedMonitor) matches(req MonitorRequest) bool {
+	return m.spec == req.System &&
+		m.epsilon == req.Epsilon && m.delta == req.Delta && //lint:allow floatcmp config identity check: the wire carried these exact values, no arithmetic touched them
+		m.fastRounds == req.FastRounds
+}
+
+// record lowers the entry to its durable form.
+func (m *servedMonitor) record() (checkpoint.Monitor, error) {
+	sys, err := json.Marshal(m.spec)
+	if err != nil {
+		return checkpoint.Monitor{}, fmt.Errorf("serve: marshal monitor spec: %w", err)
+	}
+	st := m.mon.Snapshot()
+	return checkpoint.Monitor{
+		Epsilon:    m.epsilon,
+		Delta:      m.delta,
+		FastRounds: m.fastRounds,
+		System:     sys,
+		Pn:         st.Pn,
+		N:          st.N,
+		Rounds:     st.Rounds,
+	}, nil
+}
+
+// restoreMonitors rebuilds the monitor table from recovered checkpoint
+// records. Corrupt records are fatal: they describe acknowledged state,
+// and silently cold-starting a monitor would violate the durability
+// contract the checkpoint exists for.
+func restoreMonitors(recs map[string]checkpoint.Monitor, maxN int) (map[string]*servedMonitor, error) {
+	out := make(map[string]*servedMonitor, len(recs))
+	for name, rec := range recs {
+		var spec SystemSpec
+		if err := json.Unmarshal(rec.System, &spec); err != nil {
+			return nil, fmt.Errorf("serve: monitor %q: corrupt system spec in checkpoint: %w", name, err)
+		}
+		if err := spec.validate(maxN); err != nil {
+			return nil, fmt.Errorf("serve: monitor %q: checkpointed spec no longer valid: %w", name, err)
+		}
+		mon, err := rfidest.NewMonitor(rec.Epsilon, rec.Delta, rec.FastRounds)
+		if err != nil {
+			return nil, fmt.Errorf("serve: monitor %q: %w", name, err)
+		}
+		if err := mon.Restore(rfidest.MonitorState{Pn: rec.Pn, N: rec.N, Rounds: rec.Rounds}); err != nil {
+			return nil, fmt.Errorf("serve: monitor %q: %w", name, err)
+		}
+		out[name] = &servedMonitor{
+			spec:       spec,
+			epsilon:    rec.Epsilon,
+			delta:      rec.Delta,
+			fastRounds: rec.FastRounds,
+			mon:        mon,
+		}
+	}
+	return out, nil
+}

@@ -36,7 +36,10 @@ func benchServer(b *testing.B, cfg serve.Config) *httptest.Server {
 	b.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	b.Cleanup(cancel)
-	s := serve.New(ctx, cfg)
+	s, err := serve.New(ctx, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	b.Cleanup(ts.Close)
 	return ts

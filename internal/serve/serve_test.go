@@ -42,7 +42,10 @@ func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Ser
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	t.Cleanup(cancel)
-	s := serve.New(ctx, cfg)
+	s, err := serve.New(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -384,13 +387,23 @@ func TestShutdownDrain(t *testing.T) {
 	}); status != http.StatusServiceUnavailable {
 		t.Errorf("post-drain estimate: status %d, want 503", status)
 	}
+	// Liveness stays green — the process is still answering — while
+	// readiness flips so load balancers stop routing here.
 	hr, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	hr.Body.Close()
-	if hr.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("post-drain healthz: status %d, want 503", hr.StatusCode)
+	if hr.StatusCode != http.StatusOK {
+		t.Errorf("post-drain healthz: status %d, want 200 (liveness)", hr.StatusCode)
+	}
+	rr, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain readyz: status %d, want 503", rr.StatusCode)
 	}
 }
 
